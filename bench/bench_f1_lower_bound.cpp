@@ -1,0 +1,62 @@
+// F1 — Claim 2 (the lower bound).
+//
+// Claim: on the adversarial distribution (pivot p, a group of n/B players
+// that agree with p everywhere except a special set S of D objects where
+// they are random), NO B-budget algorithm can predict p's bits on S better
+// than guessing: error >= D/4 in expectation.
+//
+// Reproduction: run the full protocol on lower_bound_instance for a sweep of
+// D and report the pivot's measured error against the D/4 floor. The shape
+// to see: pivot_err/floor >= 1 for every D (the floor binds), while the
+// protocol stays within a small constant of D (it cannot do better, and does
+// not do asymptotically worse).
+#include <benchmark/benchmark.h>
+
+#include "src/core/calculate_preferences.hpp"
+#include "src/model/generators.hpp"
+
+namespace colscore {
+namespace {
+
+void BM_LowerBound(benchmark::State& state) {
+  const std::size_t n = 256;
+  const std::size_t budget = 8;
+  const auto diameter = static_cast<std::size_t>(state.range(0));
+
+  double pivot_err_total = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      World world = lower_bound_instance(n, budget, diameter, Rng(seed * 77));
+      Population pop(n);
+      ProbeOracle oracle(world.matrix);
+      BulletinBoard board;
+      HonestBeacon beacon(seed);
+      ProtocolEnv env(oracle, board, pop, beacon, seed);
+      const ProtocolResult r =
+          calculate_preferences(env, Params::practical(budget), seed);
+      pivot_err_total +=
+          static_cast<double>(world.matrix.row(0).hamming(r.outputs[0]));
+      ++runs;
+    }
+  }
+  const double pivot_err = pivot_err_total / static_cast<double>(runs);
+  const double floor = static_cast<double>(diameter) / 4.0;
+  state.counters["D"] = static_cast<double>(diameter);
+  state.counters["pivot_err"] = pivot_err;
+  state.counters["claim2_floor"] = floor;
+  state.counters["err_over_floor"] = pivot_err / floor;
+}
+
+BENCHMARK(BM_LowerBound)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace colscore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// F3 — Theorem 4 (ZeroRadius).
+//
+// Claims: with >= n/B' identical twins per player, (a) every player recovers
+// its exact vector whp; (b) probe cost is O(B' log n) per player.
+//
+// Reproduction: identical clusters; sweep n at fixed B' and B' at fixed n.
+// The shape: exact_rate ~= 1 everywhere; max_probes grows sublinearly in n
+// (compression = max_probes/n falls) and ~linearly in B'.
+#include <benchmark/benchmark.h>
+
+#include "src/model/generators.hpp"
+#include "src/protocols/zero_radius.hpp"
+
+namespace colscore {
+namespace {
+
+void run_zero_radius(benchmark::State& state, std::size_t n, std::size_t budget) {
+  double exact_total = 0, probes_total = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      World world = identical_clusters(n, n, budget, Rng(seed * 31));
+      Population pop(n);
+      ProbeOracle oracle(world.matrix);
+      BulletinBoard board;
+      HonestBeacon beacon(seed);
+      ProtocolEnv env(oracle, board, pop, beacon, seed);
+
+      std::vector<PlayerId> players(n);
+      for (PlayerId p = 0; p < n; ++p) players[p] = p;
+      std::vector<ObjectId> objects(n);
+      for (ObjectId o = 0; o < n; ++o) objects[o] = o;
+
+      ZeroRadiusParams params;
+      params.budget = budget;
+      const ZeroRadiusResult r = zero_radius(players, objects, params, env, seed);
+      std::size_t exact = 0;
+      for (std::size_t i = 0; i < n; ++i)
+        if (r.outputs[i] == world.matrix.row(players[i])) ++exact;
+      exact_total += static_cast<double>(exact) / static_cast<double>(n);
+      probes_total += static_cast<double>(oracle.max_probes());
+      ++runs;
+    }
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["budget"] = static_cast<double>(budget);
+  state.counters["exact_rate"] = exact_total / static_cast<double>(runs);
+  state.counters["max_probes"] = probes_total / static_cast<double>(runs);
+  state.counters["probes_over_n"] =
+      probes_total / static_cast<double>(runs) / static_cast<double>(n);
+}
+
+void BM_ZeroRadius_SweepN(benchmark::State& state) {
+  run_zero_radius(state, static_cast<std::size_t>(state.range(0)), 4);
+}
+
+void BM_ZeroRadius_SweepBudget(benchmark::State& state) {
+  run_zero_radius(state, 1024, static_cast<std::size_t>(state.range(0)));
+}
+
+BENCHMARK(BM_ZeroRadius_SweepN)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_ZeroRadius_SweepBudget)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace colscore
+
+BENCHMARK_MAIN();

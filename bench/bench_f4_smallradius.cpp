@@ -1,0 +1,69 @@
+// F4 — Theorem 5 (SmallRadius).
+//
+// Claims: with >= n/B players within distance D of everyone, (a) the output
+// is within 5D of the truth; (b) probes grow polynomially in D and linearly
+// in B (the paper's B log n D^1.5 (D + log n)).
+//
+// Reproduction: planted clusters, sweep D. The shape: max_err <= 5D for all
+// D; probes grow with D.
+#include <benchmark/benchmark.h>
+
+#include "src/model/generators.hpp"
+#include "src/protocols/small_radius.hpp"
+
+namespace colscore {
+namespace {
+
+void BM_SmallRadius(benchmark::State& state) {
+  const std::size_t n = 256;
+  const std::size_t budget = 4;
+  const auto diameter = static_cast<std::size_t>(state.range(0));
+
+  double err_total = 0, probes_total = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      World world = planted_clusters(n, n, budget, diameter, Rng(seed * 7));
+      Population pop(n);
+      ProbeOracle oracle(world.matrix);
+      BulletinBoard board;
+      HonestBeacon beacon(seed);
+      ProtocolEnv env(oracle, board, pop, beacon, seed);
+
+      std::vector<PlayerId> players(n);
+      for (PlayerId p = 0; p < n; ++p) players[p] = p;
+      std::vector<ObjectId> objects(n);
+      for (ObjectId o = 0; o < n; ++o) objects[o] = o;
+
+      SmallRadiusParams params;
+      params.budget = budget;
+      params.diameter = std::max<std::size_t>(diameter, 1);
+      const SmallRadiusResult r = small_radius(players, objects, params, env, seed);
+      std::size_t worst = 0;
+      for (std::size_t i = 0; i < n; ++i)
+        worst = std::max(worst, world.matrix.row(i).hamming(r.outputs[i]));
+      err_total += static_cast<double>(worst);
+      probes_total += static_cast<double>(oracle.max_probes());
+      ++runs;
+    }
+  }
+  state.counters["D"] = static_cast<double>(diameter);
+  state.counters["max_err"] = err_total / static_cast<double>(runs);
+  state.counters["bound_5D"] = 5.0 * static_cast<double>(diameter);
+  state.counters["err_over_D"] = err_total / static_cast<double>(runs) /
+                                 std::max<double>(1.0, static_cast<double>(diameter));
+  state.counters["max_probes"] = probes_total / static_cast<double>(runs);
+}
+
+BENCHMARK(BM_SmallRadius)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace colscore
+
+BENCHMARK_MAIN();

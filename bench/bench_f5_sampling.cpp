@@ -1,0 +1,70 @@
+// F5 — Lemma 6 (sampling concentration).
+//
+// Claims: with the sample rate 10 ln n / D, (a) pairs within distance D
+// differ on <= 20 ln n sampled objects whp; (b) pairs at distance >= cD
+// (c >= 3) differ on >= 5c ln n sampled objects whp.
+//
+// Reproduction: pairs planted at exact distance c*D for a sweep of c; report
+// mean/min/max sample distance in units of ln n, and the misclassification
+// rate against the edge threshold. The shape: close pairs stay below the
+// threshold, c >= 3 pairs rise linearly in c and clear it.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "src/common/mathutil.hpp"
+#include "src/model/generators.hpp"
+
+namespace colscore {
+namespace {
+
+void BM_SamplingConcentration(benchmark::State& state) {
+  const std::size_t n = 4096;
+  const std::size_t D = 256;
+  const auto c = static_cast<std::size_t>(state.range(0));
+  const double ln_n = ln_clamped(n);
+  const double rate = std::min(1.0, 10.0 * ln_n / static_cast<double>(D));
+  const double tau = 30.0 * ln_n;  // practical edge threshold (graph_tau_c)
+
+  double mean = 0, lo = 1e18, hi = 0, misclass = 0;
+  std::size_t trials_total = 0;
+  for (auto _ : state) {
+    Rng rng(c * 1237);
+    const std::size_t trials = 400;
+    for (std::size_t t = 0; t < trials; ++t) {
+      // A pair at exact distance c*D: count how many differing coordinates
+      // land in the sample (each coordinate iid with prob `rate`).
+      std::size_t in_sample = 0;
+      for (std::size_t i = 0; i < c * D; ++i)
+        if (rng.chance(rate)) ++in_sample;
+      const auto x = static_cast<double>(in_sample);
+      mean += x;
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+      // close pairs (c==1) should be below tau; far pairs (c>=3) above.
+      if (c == 1 && x > tau) misclass += 1;
+      if (c >= 3 && x <= tau) misclass += 1;
+      ++trials_total;
+    }
+  }
+  mean /= static_cast<double>(trials_total);
+  state.counters["c"] = static_cast<double>(c);
+  state.counters["mean_over_lnn"] = mean / ln_n;
+  state.counters["min_over_lnn"] = lo / ln_n;
+  state.counters["max_over_lnn"] = hi / ln_n;
+  state.counters["tau_over_lnn"] = tau / ln_n;
+  state.counters["misclass_rate"] = misclass / static_cast<double>(trials_total);
+}
+
+BENCHMARK(BM_SamplingConcentration)
+    ->Arg(1)
+    ->Arg(3)
+    ->Arg(6)
+    ->Arg(10)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace colscore
+
+BENCHMARK_MAIN();

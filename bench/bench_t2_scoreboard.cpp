@@ -1,0 +1,47 @@
+// T2 — the end-to-end scoreboard: every algorithm on the same planted world,
+// with and without Byzantine players. Rows: error and probe cost. The genie
+// (oracle_clusters) is the OPT reference; probe_all and random_guess are the
+// degenerate corners.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.hpp"
+
+namespace colscore {
+namespace {
+
+void run_row(benchmark::State& state, AlgorithmKind algo, bool byzantine) {
+  ExperimentConfig config;
+  config.n = 256;
+  config.budget = 8;
+  config.diameter = 16;
+  config.seed = 21;
+  config.algorithm = algo;
+  config.robust_outer_reps = 3;
+  if (byzantine) {
+    config.adversary = AdversaryKind::kSleeper;
+    config.dishonest = config.n / (3 * config.budget);
+  }
+  ExperimentOutcome out;
+  for (auto _ : state) out = run_experiment(config);
+  benchutil::attach_outcome(state, out);
+  state.counters["byz"] = byzantine ? 1 : 0;
+}
+
+void BM_Ours(benchmark::State& s) { run_row(s, AlgorithmKind::kCalculatePreferences, s.range(0)); }
+void BM_Robust(benchmark::State& s) { run_row(s, AlgorithmKind::kRobust, s.range(0)); }
+void BM_ProbeAll(benchmark::State& s) { run_row(s, AlgorithmKind::kProbeAll, s.range(0)); }
+void BM_RandomGuess(benchmark::State& s) { run_row(s, AlgorithmKind::kRandomGuess, s.range(0)); }
+void BM_OracleClusters(benchmark::State& s) { run_row(s, AlgorithmKind::kOracleClusters, s.range(0)); }
+void BM_SampleAndShare(benchmark::State& s) { run_row(s, AlgorithmKind::kSampleAndShare, s.range(0)); }
+
+BENCHMARK(BM_Ours)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Robust)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_ProbeAll)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_RandomGuess)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_OracleClusters)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_SampleAndShare)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace colscore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// T5 — the §8 extensions.
+//
+//  * Heterogeneous budgets: probe load follows each player's declared
+//    budget while cluster accuracy is unchanged (weighted vote assignment).
+//  * Non-binary scores: threshold decomposition across R-1 layers keeps the
+//    L1 error at O(D) with a (R-1)x probe overhead.
+#include <benchmark/benchmark.h>
+
+#include "src/ext/hetero.hpp"
+#include "src/ext/scored.hpp"
+#include "src/model/generators.hpp"
+
+namespace colscore {
+namespace {
+
+void BM_HeteroBudgets(benchmark::State& state) {
+  const std::size_t n = 64, n_objects = 512;
+  const auto big_weight = static_cast<std::size_t>(state.range(0));
+
+  double big_mean = 0, small_mean = 0, err = 0;
+  for (auto _ : state) {
+    World world = identical_clusters(n, n_objects, 1, Rng(5));
+    Population pop(n);
+    ProbeOracle oracle(world.matrix);
+    BulletinBoard board;
+    HonestBeacon beacon(6);
+    ProtocolEnv env(oracle, board, pop, beacon, 7);
+
+    std::vector<PlayerId> members(n);
+    for (PlayerId p = 0; p < n; ++p) members[p] = p;
+    std::vector<std::size_t> budgets(n, 1);
+    for (std::size_t i = 0; i < n / 4; ++i) budgets[i] = big_weight;
+
+    WorkShareParams params;
+    params.votes_per_object = 10;
+    const BitVector prediction =
+        weighted_cluster_votes(members, budgets, env, 1, params);
+    err = static_cast<double>(prediction.hamming(world.matrix.row(0)));
+
+    std::uint64_t big = 0, small = 0;
+    for (PlayerId p = 0; p < n / 4; ++p) big += oracle.probes_by(p);
+    for (PlayerId p = n / 4; p < n; ++p) small += oracle.probes_by(p);
+    big_mean = static_cast<double>(big) / (n / 4.0);
+    small_mean = static_cast<double>(small) / (3.0 * n / 4.0);
+  }
+  state.counters["big_weight"] = static_cast<double>(big_weight);
+  state.counters["big_load"] = big_mean;
+  state.counters["small_load"] = small_mean;
+  state.counters["load_ratio"] = small_mean > 0 ? big_mean / small_mean : 0;
+  state.counters["err"] = err;
+}
+
+void BM_ScoredLevels(benchmark::State& state) {
+  const auto levels = static_cast<std::uint8_t>(state.range(0));
+  const std::size_t l1_diam = 8;
+
+  double err = 0, probes = 0;
+  for (auto _ : state) {
+    const ScoredWorld world =
+        planted_scored_clusters(128, 128, 4, levels, l1_diam, Rng(11));
+    Population pop(128);
+    const ScoredResult r =
+        scored_calculate_preferences(world, pop, Params::practical(4), 12);
+    err = static_cast<double>(scored_max_error(world, pop, r));
+    probes = static_cast<double>(r.max_probes);
+  }
+  state.counters["levels"] = static_cast<double>(levels);
+  state.counters["l1_max_err"] = err;
+  state.counters["l1_diameter"] = static_cast<double>(l1_diam);
+  state.counters["max_probes"] = probes;
+  state.counters["probes_per_layer"] =
+      probes / static_cast<double>(levels - 1);
+}
+
+void BM_ScoredByzantine(benchmark::State& state) {
+  double err = 0;
+  for (auto _ : state) {
+    const ScoredWorld world = planted_scored_clusters(128, 128, 4, 4, 8, Rng(13));
+    Population pop(128);
+    Rng rng(14);
+    pop.corrupt_random(10, rng, [] { return std::make_unique<Sleeper>(); });
+    const ScoredResult r =
+        scored_calculate_preferences(world, pop, Params::practical(4), 15);
+    err = static_cast<double>(scored_max_error(world, pop, r));
+  }
+  state.counters["l1_max_err"] = err;
+  state.counters["l1_diameter"] = 8;
+  state.counters["dishonest"] = 10;
+}
+
+BENCHMARK(BM_HeteroBudgets)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_ScoredLevels)
+    ->Arg(2)
+    ->Arg(3)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_ScoredByzantine)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace colscore
+
+BENCHMARK_MAIN();

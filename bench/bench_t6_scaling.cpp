@@ -1,0 +1,115 @@
+// T6 — simulator throughput (the HPC harness itself).
+//
+// Two views:
+//   * Parallel kernels — the O(n^2) phases (neighbor-graph construction,
+//     empirical-OPT radius scan) are embarrassingly parallel over players;
+//     the thread sweep should show near-linear speedup.
+//   * Full protocol — end-to-end wall time per thread count. The protocol
+//     interleaves parallel per-player work with serialized bulletin-board
+//     publication (determinism requirement), so Amdahl's law caps the
+//     end-to-end speedup; the kernels show the parallel headroom.
+// Outputs are identical across thread counts (ThreadDeterminism test).
+#include <benchmark/benchmark.h>
+
+#include "src/common/thread_pool.hpp"
+#include "src/common/timer.hpp"
+#include "src/metrics/optimal.hpp"
+#include "src/protocols/neighbor_graph.hpp"
+#include "src/sim/experiment.hpp"
+
+namespace colscore {
+namespace {
+
+void BM_NeighborGraphKernel(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool::reset_global(threads);
+  const std::size_t n = 3072, dim = 768;
+  Rng rng(1);
+  std::vector<BitVector> z;
+  z.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) z.push_back(random_bitvector(dim, rng));
+
+  double seconds = 0;
+  for (auto _ : state) {
+    Timer timer;
+    const NeighborGraph graph(z, dim / 3);
+    benchmark::DoNotOptimize(graph.degree(0));
+    seconds = timer.seconds();
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["wall_s"] = seconds;
+  state.counters["pairs_per_s"] =
+      static_cast<double>(n) * static_cast<double>(n) / seconds;
+  ThreadPool::reset_global(0);
+}
+
+void BM_OptRadiusKernel(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool::reset_global(threads);
+  const World world = planted_clusters(2048, 2048, 8, 16, Rng(2));
+
+  double seconds = 0;
+  for (auto _ : state) {
+    Timer timer;
+    const OptEstimate est = opt_radius(world.matrix, 256);
+    benchmark::DoNotOptimize(est.max_radius);
+    seconds = timer.seconds();
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["wall_s"] = seconds;
+  ThreadPool::reset_global(0);
+}
+
+void BM_FullProtocol(benchmark::State& state) {
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ThreadPool::reset_global(threads);
+
+  ExperimentConfig config;
+  config.n = 512;
+  config.budget = 8;
+  config.diameter = 16;
+  config.seed = 33;
+  config.compute_opt = false;
+
+  double seconds = 0;
+  for (auto _ : state) {
+    const ExperimentOutcome out = run_experiment(config);
+    seconds = out.wall_seconds;
+    state.counters["max_err"] = static_cast<double>(out.error.max_error);
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["wall_s"] = seconds;
+  ThreadPool::reset_global(0);
+}
+
+BENCHMARK(BM_NeighborGraphKernel)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(24)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+BENCHMARK(BM_OptRadiusKernel)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+BENCHMARK(BM_FullProtocol)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(24)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace colscore
+
+BENCHMARK_MAIN();

@@ -1,0 +1,22 @@
+// Shared helpers for the experiment benches. Every bench reports its
+// scientific outputs (errors, probes, ratios) as google-benchmark counters so
+// the numbers appear in the standard bench output next to the timings.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include "src/sim/experiment.hpp"
+
+namespace colscore::benchutil {
+
+inline void attach_outcome(benchmark::State& state, const ExperimentOutcome& out) {
+  state.counters["max_err"] = static_cast<double>(out.error.max_error);
+  state.counters["mean_err"] = out.error.mean_error;
+  state.counters["max_probes"] = static_cast<double>(out.max_probes);
+  state.counters["total_probes"] = static_cast<double>(out.total_probes);
+  if (out.opt.radius.empty()) return;
+  state.counters["opt_radius"] = out.opt.mean_radius;
+  state.counters["err_over_opt"] = out.approx_ratio;
+}
+
+}  // namespace colscore::benchutil

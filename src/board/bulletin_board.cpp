@@ -1,0 +1,103 @@
+#include "src/board/bulletin_board.hpp"
+
+#include <algorithm>
+
+#include "src/common/rng.hpp"
+
+namespace colscore {
+
+std::uint64_t BulletinBoard::report_key(std::uint64_t tag, ObjectId object) {
+  return mix_keys(tag, 0x5245504fULL, object);
+}
+
+void BulletinBoard::post_report(std::uint64_t tag, PlayerId author, ObjectId object,
+                                bool value) {
+  const std::uint64_t key = report_key(tag, object);
+  ReportShard& shard = report_shards_[key % kShards];
+  std::lock_guard lock(shard.mutex);
+  shard.by_key[key].push_back(ProbeReport{author, object, value});
+}
+
+std::vector<ProbeReport> BulletinBoard::reports_for(std::uint64_t tag,
+                                                    ObjectId object) const {
+  const std::uint64_t key = report_key(tag, object);
+  const ReportShard& shard = report_shards_[key % kShards];
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.by_key.find(key);
+  return it == shard.by_key.end() ? std::vector<ProbeReport>{} : it->second;
+}
+
+std::vector<ProbeReport> BulletinBoard::all_reports(std::uint64_t tag) const {
+  std::vector<ProbeReport> out;
+  for (const auto& shard : report_shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [key, reports] : shard.by_key) {
+      // Keys embed the tag; verify membership by recomputing.
+      if (!reports.empty() && report_key(tag, reports.front().object) == key) {
+        out.insert(out.end(), reports.begin(), reports.end());
+      }
+    }
+  }
+  return out;
+}
+
+void BulletinBoard::post_vector(std::uint64_t tag, PlayerId author, BitVector vector) {
+  VectorShard& shard = vector_shards_[tag % kShards];
+  std::lock_guard lock(shard.mutex);
+  shard.by_tag[tag].push_back(VectorPost{author, std::move(vector)});
+}
+
+std::vector<VectorPost> BulletinBoard::vectors(std::uint64_t tag) const {
+  const VectorShard& shard = vector_shards_[tag % kShards];
+  std::lock_guard lock(shard.mutex);
+  auto it = shard.by_tag.find(tag);
+  return it == shard.by_tag.end() ? std::vector<VectorPost>{} : it->second;
+}
+
+std::vector<BulletinBoard::SupportedVector> BulletinBoard::vectors_by_support(
+    std::uint64_t tag) const {
+  const std::vector<VectorPost> posts = vectors(tag);
+  std::vector<SupportedVector> out;
+  std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_hash;
+  for (const VectorPost& post : posts) {
+    const std::uint64_t h = post.vector.content_hash();
+    auto& candidates = by_hash[h];
+    bool found = false;
+    for (std::size_t idx : candidates) {
+      if (out[idx].vector == post.vector) {
+        ++out[idx].support;
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      candidates.push_back(out.size());
+      out.push_back(SupportedVector{post.vector, 1});
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const SupportedVector& a, const SupportedVector& b) {
+                     return a.support > b.support;
+                   });
+  return out;
+}
+
+std::uint64_t BulletinBoard::report_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : report_shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [key, reports] : shard.by_key) total += reports.size();
+  }
+  return total;
+}
+
+std::uint64_t BulletinBoard::vector_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : vector_shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const auto& [tag, posts] : shard.by_tag) total += posts.size();
+  }
+  return total;
+}
+
+}  // namespace colscore

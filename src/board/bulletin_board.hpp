@@ -1,0 +1,85 @@
+// The public bulletin board from §2 of the paper: an append-only shared
+// memory every player can read and write. Records are keyed by their author;
+// there is no mutation API, so a dishonest player cannot alter data written
+// by honest players — exactly the model assumption.
+//
+// Two record kinds are enough for every protocol in the paper:
+//   * probe reports   — "player a claims its preference for object o is b"
+//   * vector posts    — "player a claims its preference vector (for the
+//                        object set identified by the channel tag) is w"
+// Channels are identified by 64-bit tags derived from protocol phase keys.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/bitvector.hpp"
+#include "src/common/types.hpp"
+
+namespace colscore {
+
+struct ProbeReport {
+  PlayerId author = kInvalidPlayer;
+  ObjectId object = kInvalidObject;
+  bool value = false;
+};
+
+struct VectorPost {
+  PlayerId author = kInvalidPlayer;
+  BitVector vector;
+};
+
+class BulletinBoard {
+ public:
+  BulletinBoard() = default;
+  BulletinBoard(const BulletinBoard&) = delete;
+  BulletinBoard& operator=(const BulletinBoard&) = delete;
+
+  // ---- probe-report channel -------------------------------------------
+  void post_report(std::uint64_t tag, PlayerId author, ObjectId object, bool value);
+
+  /// All reports about `object` on channel `tag` (posting order).
+  std::vector<ProbeReport> reports_for(std::uint64_t tag, ObjectId object) const;
+
+  /// All reports on channel `tag` (unspecified order across objects).
+  std::vector<ProbeReport> all_reports(std::uint64_t tag) const;
+
+  // ---- vector channel ---------------------------------------------------
+  void post_vector(std::uint64_t tag, PlayerId author, BitVector vector);
+
+  /// All vector posts on channel `tag` (posting order per shard).
+  std::vector<VectorPost> vectors(std::uint64_t tag) const;
+
+  /// Distinct vectors on channel `tag` with their support counts, most
+  /// supported first (ties by first appearance). The core voting primitive
+  /// of ZeroRadius step 4.
+  struct SupportedVector {
+    BitVector vector;
+    std::size_t support = 0;
+  };
+  std::vector<SupportedVector> vectors_by_support(std::uint64_t tag) const;
+
+  // ---- accounting ---------------------------------------------------------
+  std::uint64_t report_count() const;
+  std::uint64_t vector_count() const;
+
+ private:
+  static constexpr std::size_t kShards = 64;
+  struct ReportShard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::vector<ProbeReport>> by_key;
+  };
+  struct VectorShard {
+    mutable std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::vector<VectorPost>> by_tag;
+  };
+
+  static std::uint64_t report_key(std::uint64_t tag, ObjectId object);
+
+  ReportShard report_shards_[kShards];
+  VectorShard vector_shards_[kShards];
+};
+
+}  // namespace colscore

@@ -1,0 +1,51 @@
+#include "src/board/probe_oracle.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace colscore {
+
+ProbeOracle::ProbeOracle(const TruthSource& truth, BudgetMode mode, std::uint64_t budget)
+    : truth_(&truth), mode_(mode), budget_(budget), counts_(truth.n_players()) {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+bool ProbeOracle::probe(PlayerId p, ObjectId o) {
+  CS_ASSERT(p < counts_.size(), "probe: bad player id");
+  CS_ASSERT(o < truth_->n_objects(), "probe: bad object id");
+  const std::uint64_t now =
+      counts_[p].fetch_add(1, std::memory_order_relaxed) + 1;
+  if (mode_ == BudgetMode::kHard) {
+    CS_ASSERT(now <= budget_, "probe budget exceeded in kHard mode");
+  }
+  return truth_->preference(p, o);
+}
+
+bool ProbeOracle::adversary_peek(PlayerId p, ObjectId o) const {
+  return truth_->preference(p, o);
+}
+
+std::uint64_t ProbeOracle::probes_by(PlayerId p) const {
+  CS_ASSERT(p < counts_.size(), "probes_by: bad player id");
+  return counts_[p].load(std::memory_order_relaxed);
+}
+
+std::uint64_t ProbeOracle::total_probes() const {
+  std::uint64_t total = 0;
+  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::uint64_t ProbeOracle::max_probes() const {
+  std::uint64_t best = 0;
+  for (const auto& c : counts_) {
+    const std::uint64_t v = c.load(std::memory_order_relaxed);
+    if (v > best) best = v;
+  }
+  return best;
+}
+
+void ProbeOracle::reset_counts() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace colscore

@@ -1,0 +1,61 @@
+// The probe model from §2 of the paper: each probe by player p on object o
+// reveals p's own preference bit v(p)_o. The oracle owns the interaction with
+// ground truth and charges every probe to the prober, so probe-complexity
+// claims (Lemmas 10-11) are measured, not estimated.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace colscore {
+
+/// Read-only view of the hidden preference matrix. Implemented by
+/// model::PreferenceMatrix; protocols only ever see this interface through
+/// the oracle.
+class TruthSource {
+ public:
+  virtual ~TruthSource() = default;
+  virtual bool preference(PlayerId p, ObjectId o) const = 0;
+  virtual std::size_t n_players() const = 0;
+  virtual std::size_t n_objects() const = 0;
+};
+
+class ProbeOracle {
+ public:
+  enum class BudgetMode {
+    kTrack,  // count probes; never block
+    kHard,   // abort if any player exceeds `budget` probes (failure injection)
+  };
+
+  explicit ProbeOracle(const TruthSource& truth, BudgetMode mode = BudgetMode::kTrack,
+                       std::uint64_t budget = 0);
+
+  /// Performs one probe: charges player p and returns v(p)_o.
+  bool probe(PlayerId p, ObjectId o);
+
+  /// Reads truth WITHOUT charging. Only adversaries use this (the paper's
+  /// Byzantine players are omniscient, see DESIGN §2); honest protocol code
+  /// must never call it — tests enforce this by budget accounting.
+  bool adversary_peek(PlayerId p, ObjectId o) const;
+
+  std::uint64_t probes_by(PlayerId p) const;
+  std::uint64_t total_probes() const;
+  std::uint64_t max_probes() const;
+
+  /// Resets all counters (between experiment repetitions).
+  void reset_counts();
+
+  std::size_t n_players() const { return truth_->n_players(); }
+  std::size_t n_objects() const { return truth_->n_objects(); }
+
+ private:
+  const TruthSource* truth_;
+  BudgetMode mode_;
+  std::uint64_t budget_;
+  std::vector<std::atomic<std::uint64_t>> counts_;
+};
+
+}  // namespace colscore

@@ -1,0 +1,6 @@
+// Beacon implementations are header-only; this TU anchors the vtables.
+#include "src/board/shared_random.hpp"
+
+namespace colscore {
+// Intentionally empty.
+}  // namespace colscore

@@ -1,0 +1,80 @@
+// Shared randomness (§7.1). The protocol's shared random choices (sample-set
+// selection, probe assignments, partitions) are drawn from a beacon. With an
+// honest leader the bits are truly random; with a dishonest leader they are
+// adversarially chosen. Both are modeled here so experiment T4 can measure
+// the damage a biased beacon causes.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "src/common/rng.hpp"
+
+namespace colscore {
+
+/// Source of the shared random seed for each protocol phase. `phase_key` is
+/// a stable identifier of the phase (so all players derive the same stream).
+class RandomnessBeacon {
+ public:
+  virtual ~RandomnessBeacon() = default;
+
+  /// Seed all players use for the phase. Deterministic per (beacon, phase).
+  virtual std::uint64_t seed_for(std::uint64_t phase_key) = 0;
+
+  /// Whether the bits are honestly generated (for metrics only; protocol
+  /// code must not branch on this).
+  virtual bool honest() const = 0;
+
+  /// Convenience: an Rng seeded for the phase.
+  Rng rng_for(std::uint64_t phase_key) { return Rng(seed_for(phase_key)); }
+};
+
+/// Truly random beacon (honest leader won the election).
+class HonestBeacon final : public RandomnessBeacon {
+ public:
+  explicit HonestBeacon(std::uint64_t root_seed) : root_(root_seed) {}
+  std::uint64_t seed_for(std::uint64_t phase_key) override {
+    return mix_keys(root_, phase_key);
+  }
+  bool honest() const override { return true; }
+
+ private:
+  std::uint64_t root_;
+};
+
+/// Adversary-controlled beacon. The dishonest leader grinds over
+/// `attempts` candidate seeds and publishes the one maximizing the supplied
+/// objective (e.g. "number of dishonest players assigned to vote duty").
+/// With a null objective it degenerates to a fixed predictable sequence.
+class GrindingBeacon final : public RandomnessBeacon {
+ public:
+  /// Objective: higher is better *for the adversary*.
+  using Objective = std::function<double(std::uint64_t seed, std::uint64_t phase_key)>;
+
+  GrindingBeacon(std::uint64_t adversary_seed, std::size_t attempts,
+                 Objective objective)
+      : root_(adversary_seed), attempts_(attempts), objective_(std::move(objective)) {}
+
+  std::uint64_t seed_for(std::uint64_t phase_key) override {
+    if (!objective_ || attempts_ <= 1) return mix_keys(root_, phase_key, 0xbadULL);
+    std::uint64_t best_seed = mix_keys(root_, phase_key, 0);
+    double best_score = objective_(best_seed, phase_key);
+    for (std::size_t i = 1; i < attempts_; ++i) {
+      const std::uint64_t cand = mix_keys(root_, phase_key, i);
+      const double score = objective_(cand, phase_key);
+      if (score > best_score) {
+        best_score = score;
+        best_seed = cand;
+      }
+    }
+    return best_seed;
+  }
+  bool honest() const override { return false; }
+
+ private:
+  std::uint64_t root_;
+  std::size_t attempts_;
+  Objective objective_;
+};
+
+}  // namespace colscore

@@ -1,0 +1,20 @@
+// Lightweight always-on invariant checks. Protocol invariants are cheap
+// relative to probe simulation, so these stay enabled in release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace colscore::detail {
+[[noreturn]] inline void assert_fail(const char* expr, const char* file, int line,
+                                     const char* msg) {
+  std::fprintf(stderr, "colscore assertion failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg);
+  std::abort();
+}
+}  // namespace colscore::detail
+
+#define CS_ASSERT(expr, msg)                                              \
+  do {                                                                    \
+    if (!(expr)) ::colscore::detail::assert_fail(#expr, __FILE__, __LINE__, msg); \
+  } while (0)

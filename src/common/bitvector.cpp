@@ -1,0 +1,189 @@
+#include "src/common/bitvector.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "src/common/assert.hpp"
+
+namespace colscore {
+
+namespace {
+constexpr std::size_t kWordBits = 64;
+
+std::size_t word_count(std::size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+}  // namespace
+
+BitVector::BitVector(std::size_t size, bool value)
+    : size_(size), words_(word_count(size), value ? ~0ULL : 0ULL) {
+  clear_padding();
+}
+
+void BitVector::clear_padding() noexcept {
+  const std::size_t rem = size_ % kWordBits;
+  if (rem != 0 && !words_.empty()) words_.back() &= (1ULL << rem) - 1;
+}
+
+bool BitVector::get(std::size_t i) const noexcept {
+  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+}
+
+void BitVector::set(std::size_t i, bool value) noexcept {
+  const std::uint64_t mask = 1ULL << (i % kWordBits);
+  if (value)
+    words_[i / kWordBits] |= mask;
+  else
+    words_[i / kWordBits] &= ~mask;
+}
+
+void BitVector::flip(std::size_t i) noexcept { words_[i / kWordBits] ^= 1ULL << (i % kWordBits); }
+
+std::size_t BitVector::popcount() const noexcept {
+  std::size_t total = 0;
+  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
+  return total;
+}
+
+std::size_t BitVector::hamming(const BitVector& other) const noexcept {
+  CS_ASSERT(size_ == other.size_, "hamming: size mismatch");
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words_.size(); ++i)
+    total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  return total;
+}
+
+std::size_t BitVector::hamming_prefix(const BitVector& other,
+                                      std::size_t prefix_bits) const noexcept {
+  CS_ASSERT(prefix_bits <= size_ && prefix_bits <= other.size_, "hamming_prefix: oob");
+  const std::size_t full = prefix_bits / kWordBits;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < full; ++i)
+    total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
+  const std::size_t rem = prefix_bits % kWordBits;
+  if (rem != 0) {
+    const std::uint64_t mask = (1ULL << rem) - 1;
+    total += static_cast<std::size_t>(
+        std::popcount((words_[full] ^ other.words_[full]) & mask));
+  }
+  return total;
+}
+
+std::vector<std::size_t> BitVector::diff_positions(const BitVector& other) const {
+  CS_ASSERT(size_ == other.size_, "diff_positions: size mismatch");
+  std::vector<std::size_t> out;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t x = words_[w] ^ other.words_[w];
+    while (x != 0) {
+      const int bit = std::countr_zero(x);
+      out.push_back(w * kWordBits + static_cast<std::size_t>(bit));
+      x &= x - 1;
+    }
+  }
+  return out;
+}
+
+BitVector BitVector::gather(std::span<const std::size_t> positions) const {
+  BitVector out(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    CS_ASSERT(positions[i] < size_, "gather: position out of range");
+    out.set(i, get(positions[i]));
+  }
+  return out;
+}
+
+BitVector BitVector::gather(std::span<const ObjectId> positions) const {
+  BitVector out(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    CS_ASSERT(positions[i] < size_, "gather: position out of range");
+    out.set(i, get(positions[i]));
+  }
+  return out;
+}
+
+void BitVector::scatter(std::span<const std::size_t> positions, const BitVector& patch) {
+  CS_ASSERT(positions.size() == patch.size(), "scatter: size mismatch");
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    CS_ASSERT(positions[i] < size_, "scatter: position out of range");
+    set(positions[i], patch.get(i));
+  }
+}
+
+void BitVector::fill(bool value) noexcept {
+  std::fill(words_.begin(), words_.end(), value ? ~0ULL : 0ULL);
+  clear_padding();
+}
+
+void BitVector::randomize(Rng& rng, double density) {
+  if (density == 0.5) {
+    for (auto& w : words_) w = rng();
+    clear_padding();
+    return;
+  }
+  for (std::size_t i = 0; i < size_; ++i) set(i, rng.chance(density));
+}
+
+void BitVector::flip_random(Rng& rng, std::size_t count) {
+  CS_ASSERT(count <= size_, "flip_random: count exceeds size");
+  // Floyd's algorithm for a uniform k-subset without replacement.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(count);
+  for (std::size_t j = size_ - count; j < size_; ++j) {
+    const std::size_t t = rng.below(j + 1);
+    bool already = std::find(chosen.begin(), chosen.end(), t) != chosen.end();
+    chosen.push_back(already ? j : t);
+  }
+  for (std::size_t pos : chosen) flip(pos);
+}
+
+bool BitVector::operator==(const BitVector& other) const noexcept {
+  return size_ == other.size_ && words_ == other.words_;
+}
+
+BitVector& BitVector::operator^=(const BitVector& other) noexcept {
+  CS_ASSERT(size_ == other.size_, "xor: size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator&=(const BitVector& other) noexcept {
+  CS_ASSERT(size_ == other.size_, "and: size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+BitVector& BitVector::operator|=(const BitVector& other) noexcept {
+  CS_ASSERT(size_ == other.size_, "or: size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+BitVector BitVector::operator~() const {
+  BitVector out = *this;
+  for (auto& w : out.words_) w = ~w;
+  out.clear_padding();
+  return out;
+}
+
+std::string BitVector::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i)
+    if (get(i)) s[i] = '1';
+  return s;
+}
+
+std::uint64_t BitVector::content_hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ size_;
+  for (std::uint64_t w : words_) {
+    h ^= w;
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+BitVector random_bitvector(std::size_t size, Rng& rng, double density) {
+  BitVector v(size);
+  v.randomize(rng, density);
+  return v;
+}
+
+}  // namespace colscore

@@ -1,0 +1,84 @@
+// Dense bit vector used for binary preference vectors.
+//
+// Preference distances are Hamming distances, so the representation is
+// optimized for word-parallel XOR + popcount sweeps; all hot loops in the
+// protocols (neighbor graphs, Select tournaments) reduce to these.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+
+namespace colscore {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  /// Creates a vector of `size` bits, all set to `value`.
+  explicit BitVector(std::size_t size, bool value = false);
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  bool get(std::size_t i) const noexcept;
+  void set(std::size_t i, bool value) noexcept;
+  void flip(std::size_t i) noexcept;
+
+  /// Number of set bits.
+  std::size_t popcount() const noexcept;
+
+  /// Hamming distance; both vectors must have equal size.
+  std::size_t hamming(const BitVector& other) const noexcept;
+
+  /// Hamming distance restricted to the first `prefix_bits` positions.
+  std::size_t hamming_prefix(const BitVector& other, std::size_t prefix_bits) const noexcept;
+
+  /// Positions where `this` and `other` differ, ascending.
+  std::vector<std::size_t> diff_positions(const BitVector& other) const;
+
+  /// New vector containing bits at `positions` (in the given order).
+  BitVector gather(std::span<const std::size_t> positions) const;
+  BitVector gather(std::span<const ObjectId> positions) const;
+
+  /// Writes bits of `patch` into positions `positions[i]` of this vector.
+  void scatter(std::span<const std::size_t> positions, const BitVector& patch);
+
+  void fill(bool value) noexcept;
+  /// Independently randomize every bit with P(bit=1) = density.
+  void randomize(Rng& rng, double density = 0.5);
+
+  /// Flips exactly `count` distinct positions chosen uniformly (count <= size).
+  void flip_random(Rng& rng, std::size_t count);
+
+  bool operator==(const BitVector& other) const noexcept;
+  bool operator!=(const BitVector& other) const noexcept { return !(*this == other); }
+
+  BitVector& operator^=(const BitVector& other) noexcept;
+  BitVector& operator&=(const BitVector& other) noexcept;
+  BitVector& operator|=(const BitVector& other) noexcept;
+  BitVector operator~() const;
+
+  /// "0110..." debug rendering.
+  std::string to_string() const;
+
+  /// Stable 64-bit content hash (fnv-style over words); used for vector
+  /// deduplication on the bulletin board.
+  std::uint64_t content_hash() const noexcept;
+
+  std::span<const std::uint64_t> words() const noexcept { return words_; }
+
+ private:
+  void clear_padding() noexcept;
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Fresh uniform-random vector.
+BitVector random_bitvector(std::size_t size, Rng& rng, double density = 0.5);
+
+}  // namespace colscore

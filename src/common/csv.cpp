@@ -1,0 +1,38 @@
+#include "src/common/csv.hpp"
+
+#include "src/common/assert.hpp"
+
+namespace colscore {
+
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> columns)
+    : out_(out), width_(columns.size()) {
+  CS_ASSERT(width_ > 0, "csv: empty header");
+  write_row(columns);
+  rows_ = 0;  // header does not count
+}
+
+void CsvWriter::row(std::initializer_list<std::string> values) {
+  write_row(std::vector<std::string>(values));
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  CS_ASSERT(cells.size() == width_, "csv: row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) out_ << ',';
+    // Quote cells containing separators.
+    if (cells[i].find_first_of(",\"\n") != std::string::npos) {
+      out_ << '"';
+      for (char c : cells[i]) {
+        if (c == '"') out_ << '"';
+        out_ << c;
+      }
+      out_ << '"';
+    } else {
+      out_ << cells[i];
+    }
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+}  // namespace colscore

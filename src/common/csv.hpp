@@ -1,0 +1,49 @@
+// Minimal CSV emitter for experiment outputs (stdout or file).
+#pragma once
+
+#include <initializer_list>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+namespace colscore {
+
+class CsvWriter {
+ public:
+  /// Writes rows to `out`; the header row is emitted on construction.
+  CsvWriter(std::ostream& out, std::vector<std::string> columns);
+
+  /// Number of values must match the header width.
+  void row(std::initializer_list<std::string> values);
+
+  template <typename... Ts>
+  void row_values(const Ts&... vals) {
+    std::vector<std::string> cells;
+    cells.reserve(sizeof...(Ts));
+    (cells.push_back(to_cell(vals)), ...);
+    write_row(cells);
+  }
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& v) {
+    if constexpr (std::is_convertible_v<T, std::string>) {
+      return std::string(v);
+    } else {
+      std::ostringstream os;
+      os << v;
+      return os.str();
+    }
+  }
+  void write_row(const std::vector<std::string>& cells);
+
+  std::ostream& out_;
+  std::size_t width_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace colscore

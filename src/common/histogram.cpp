@@ -1,0 +1,60 @@
+#include "src/common/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/assert.hpp"
+
+namespace colscore {
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(buckets)),
+      counts_(buckets, 0) {
+  CS_ASSERT(hi > lo, "histogram: empty range");
+  CS_ASSERT(buckets > 0, "histogram: zero buckets");
+}
+
+void Histogram::add(double x) noexcept {
+  auto idx = static_cast<long>(std::floor((x - lo_) / width_));
+  idx = std::clamp<long>(idx, 0, static_cast<long>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+double Histogram::bucket_lo(std::size_t bucket) const {
+  return lo_ + width_ * static_cast<double>(bucket);
+}
+
+double Histogram::bucket_hi(std::size_t bucket) const {
+  return lo_ + width_ * static_cast<double>(bucket + 1);
+}
+
+double Histogram::cdf(double x) const noexcept {
+  if (total_ == 0) return 0.0;
+  std::size_t below = 0;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (bucket_hi(b) <= x)
+      below += counts_[b];
+    else
+      break;
+  }
+  return static_cast<double>(below) / static_cast<double>(total_);
+}
+
+std::string Histogram::to_string(std::size_t max_width) const {
+  std::ostringstream os;
+  const std::size_t peak = counts_.empty()
+                               ? 0
+                               : *std::max_element(counts_.begin(), counts_.end());
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    if (counts_[b] == 0) continue;
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * max_width / peak;
+    os << "[" << bucket_lo(b) << ", " << bucket_hi(b) << ") " << counts_[b] << " "
+       << std::string(std::max<std::size_t>(bar, 1), '#') << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace colscore

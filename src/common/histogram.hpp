@@ -1,0 +1,38 @@
+// Fixed-width bucket histogram, used by the sampling-concentration
+// experiments (Lemma 6) and probe-distribution reports.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace colscore {
+
+class Histogram {
+ public:
+  /// Buckets of equal width covering [lo, hi); out-of-range samples clamp to
+  /// the edge buckets.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x) noexcept;
+  std::size_t total() const noexcept { return total_; }
+  std::size_t bucket_count() const noexcept { return counts_.size(); }
+  std::size_t count(std::size_t bucket) const { return counts_.at(bucket); }
+  double bucket_lo(std::size_t bucket) const;
+  double bucket_hi(std::size_t bucket) const;
+
+  /// Fraction of mass at or below x.
+  double cdf(double x) const noexcept;
+
+  /// ASCII rendering (one row per non-empty bucket).
+  std::string to_string(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace colscore

@@ -1,0 +1,36 @@
+// Leveled logging to stderr. Default level is Warn so tests and benches stay
+// quiet; examples raise it to Info to narrate protocol phases.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace colscore {
+
+enum class LogLevel { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& message);
+}
+
+template <typename... Ts>
+void log(LogLevel level, const Ts&... parts) {
+  if (level < log_level()) return;
+  std::ostringstream os;
+  (os << ... << parts);
+  detail::log_emit(level, os.str());
+}
+
+template <typename... Ts>
+void log_debug(const Ts&... parts) { log(LogLevel::Debug, parts...); }
+template <typename... Ts>
+void log_info(const Ts&... parts) { log(LogLevel::Info, parts...); }
+template <typename... Ts>
+void log_warn(const Ts&... parts) { log(LogLevel::Warn, parts...); }
+template <typename... Ts>
+void log_error(const Ts&... parts) { log(LogLevel::Error, parts...); }
+
+}  // namespace colscore

@@ -1,0 +1,28 @@
+// Tiny math helpers shared by protocol parameter derivations.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+
+namespace colscore {
+
+/// Smallest l with 2^l >= n (at least 1).
+inline std::size_t log2_ceil(std::size_t n) {
+  std::size_t l = 0;
+  while ((std::size_t{1} << l) < n) ++l;
+  return std::max<std::size_t>(l, 1);
+}
+
+/// Natural log clamped below at 1.0 (protocol constants scale with ln n and
+/// must stay positive for tiny test sizes).
+inline double ln_clamped(std::size_t n) {
+  return std::max(1.0, std::log(static_cast<double>(n)));
+}
+
+/// ceil of a positive double as size_t (>= 1).
+inline std::size_t ceil_size(double x) {
+  return static_cast<std::size_t>(std::max(1.0, std::ceil(x)));
+}
+
+}  // namespace colscore

@@ -1,0 +1,58 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator must be reproducible across runs and thread counts, so every
+// parallel task derives its own statistically-independent stream from
+// (root seed, stable task key) instead of sharing a generator. Streams are
+// xoshiro256** states seeded through SplitMix64, the construction recommended
+// by the xoshiro authors.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace colscore {
+
+/// SplitMix64 step; used for seeding and for hash-style key mixing.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Stateless mix of up to three 64-bit keys into one well-distributed word.
+std::uint64_t mix_keys(std::uint64_t a, std::uint64_t b = 0x9e3779b97f4a7c15ULL,
+                       std::uint64_t c = 0xbf58476d1ce4e5b9ULL) noexcept;
+
+/// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xc0fefe1234abcdefULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() noexcept;
+
+  /// Uniform in [0, bound). bound == 0 returns 0. Unbiased (rejection).
+  std::uint64_t below(std::uint64_t bound) noexcept;
+
+  /// Uniform in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Bernoulli(p).
+  bool chance(double p) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Child stream for a stable key; independent of calls made on this stream.
+  Rng fork(std::uint64_t key) const noexcept;
+  Rng fork(std::uint64_t key1, std::uint64_t key2) const noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  std::uint64_t origin_ = 0;  // seed identity preserved so fork() is call-order independent
+};
+
+}  // namespace colscore

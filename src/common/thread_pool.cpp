@@ -1,0 +1,150 @@
+#include "src/common/thread_pool.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <memory>
+
+namespace colscore {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& body,
+                              std::size_t grain) {
+  if (begin >= end) return;
+  const std::size_t count = end - begin;
+  const std::size_t threads = thread_count();
+  if (threads <= 1 || count == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  if (grain == 0) grain = std::max<std::size_t>(1, count / (threads * 8));
+
+  struct Shared {
+    std::atomic<std::size_t> next;
+    std::atomic<std::size_t> pending;
+    std::mutex done_mutex;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+    std::mutex error_mutex;
+  };
+  auto shared = std::make_shared<Shared>();
+  shared->next.store(begin);
+
+  const std::size_t n_tasks = std::min(threads, (count + grain - 1) / grain);
+  shared->pending.store(n_tasks);
+
+  auto run_chunks = [shared, end, grain, &body] {
+    for (;;) {
+      const std::size_t lo = shared->next.fetch_add(grain);
+      if (lo >= end) break;
+      const std::size_t hi = std::min(end, lo + grain);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) body(i);
+      } catch (...) {
+        std::lock_guard lock(shared->error_mutex);
+        if (!shared->error) shared->error = std::current_exception();
+        shared->next.store(end);  // cancel remaining chunks
+        break;
+      }
+    }
+  };
+
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t t = 0; t + 1 < n_tasks; ++t) {
+      tasks_.emplace([shared, run_chunks] {
+        run_chunks();
+        if (shared->pending.fetch_sub(1) == 1) {
+          std::lock_guard done_lock(shared->done_mutex);
+          shared->done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  // The calling thread participates too.
+  run_chunks();
+  if (shared->pending.fetch_sub(1) != 1) {
+    // Help-drain the pool queue while waiting: a nested parallel_for invoked
+    // from a worker thread must not deadlock when every worker is blocked in
+    // its own wait — someone has to keep executing queued subtasks.
+    for (;;) {
+      if (shared->pending.load() == 0) break;
+      std::function<void()> task;
+      {
+        std::unique_lock lock(mutex_, std::try_to_lock);
+        if (lock.owns_lock() && !tasks_.empty()) {
+          task = std::move(tasks_.front());
+          tasks_.pop();
+        }
+      }
+      if (task) {
+        task();
+      } else {
+        std::unique_lock lock(shared->done_mutex);
+        shared->done_cv.wait_for(lock, std::chrono::microseconds(50),
+                                 [&] { return shared->pending.load() == 0; });
+      }
+    }
+  }
+  if (shared->error) std::rethrow_exception(shared->error);
+}
+
+namespace {
+std::unique_ptr<ThreadPool>& global_slot() {
+  static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>();
+  return pool;
+}
+std::mutex& global_mutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+ThreadPool& ThreadPool::global() {
+  std::lock_guard lock(global_mutex());
+  return *global_slot();
+}
+
+void ThreadPool::reset_global(std::size_t threads) {
+  std::lock_guard lock(global_mutex());
+  global_slot() = std::make_unique<ThreadPool>(threads);
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body, std::size_t grain) {
+  ThreadPool::global().parallel_for(begin, end, body, grain);
+}
+
+}  // namespace colscore

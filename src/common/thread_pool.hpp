@@ -1,0 +1,56 @@
+// Fixed-size worker pool with a chunked parallel_for.
+//
+// All parallelism in the simulator is data-parallel over players or objects;
+// a simple chunk-claiming loop keeps results deterministic (each index is
+// processed exactly once, and per-index RNG streams are derived from stable
+// keys, never from thread identity).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace colscore {
+
+class ThreadPool {
+ public:
+  /// threads == 0 selects hardware_concurrency().
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+  /// Runs body(i) for every i in [begin, end); blocks until done.
+  /// Exceptions from body are rethrown (first one wins).
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& body,
+                    std::size_t grain = 0);
+
+  /// Process-wide pool, sized from hardware concurrency on first use.
+  static ThreadPool& global();
+  /// Overrides the global pool thread count (rebuilds the pool). Test-only.
+  static void reset_global(std::size_t threads);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Convenience wrapper over ThreadPool::global().
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& body, std::size_t grain = 0);
+
+}  // namespace colscore

@@ -1,0 +1,26 @@
+#include "src/core/params.hpp"
+
+namespace colscore {
+
+Params Params::practical(std::size_t budget) {
+  Params p;
+  p.budget = budget;
+  return p;
+}
+
+Params Params::paper(std::size_t budget) {
+  Params p;
+  p.budget = budget;
+  p.sample_rate_c = 10.0;
+  p.sr_diameter_c = 20.0;
+  p.sr_subset_exponent = 1.5;  // s = Θ(D^{3/2})
+  p.sr_subset_scale = 1.0;
+  p.sr_repeats = 3;
+  p.graph_tau_c = 220.0;  // Lemma 7 threshold
+  p.graph_tau_sample_frac = 1.0;  // no cap: the literal asymptotic rule
+  p.vote_c = 3.0;
+  p.rselect_c = 3.0;
+  return p;
+}
+
+}  // namespace colscore

@@ -1,0 +1,78 @@
+#include "src/ext/hetero.hpp"
+
+#include <atomic>
+#include <numeric>
+
+#include "src/common/assert.hpp"
+#include "src/common/thread_pool.hpp"
+
+namespace colscore {
+
+BitVector weighted_cluster_votes(std::span<const PlayerId> members,
+                                 std::span<const std::size_t> budgets,
+                                 ProtocolEnv& env, std::uint64_t phase_key,
+                                 const WorkShareParams& params,
+                                 WorkShareStats* stats) {
+  CS_ASSERT(!members.empty(), "weighted_cluster_votes: empty cluster");
+  CS_ASSERT(members.size() == budgets.size(), "weighted_cluster_votes: size mismatch");
+  const std::size_t n_objects = env.n_objects();
+
+  // Prefix sums for weighted sampling.
+  std::vector<std::uint64_t> prefix(budgets.size());
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < budgets.size(); ++i) {
+    total += std::max<std::size_t>(budgets[i], 1);
+    prefix[i] = total;
+  }
+
+  std::vector<std::uint8_t> verdicts(n_objects, 0);
+  std::atomic<std::uint64_t> reports{0};
+  std::atomic<std::uint64_t> ties{0};
+
+  parallel_for(0, n_objects, [&](std::size_t o) {
+    const auto object = static_cast<ObjectId>(o);
+    Rng assign = env.shared_rng(mix_keys(phase_key, 0x3e1ULL, object));
+    const ReportContext ctx{Phase::kVote, phase_key};
+    std::size_t ones = 0;
+    for (std::size_t v = 0; v < params.votes_per_object; ++v) {
+      const std::uint64_t pick = assign.below(total);
+      const std::size_t idx = static_cast<std::size_t>(
+          std::upper_bound(prefix.begin(), prefix.end(), pick) - prefix.begin());
+      const PlayerId voter = members[idx];
+      Rng vote_rng = env.local_rng(voter, mix_keys(phase_key, object, v));
+      const bool report =
+          env.population.report_of(voter, object, env.oracle, ctx, vote_rng);
+      env.board.post_report(phase_key, voter, object, report);
+      if (report) ++ones;
+    }
+    reports.fetch_add(params.votes_per_object, std::memory_order_relaxed);
+    const std::size_t zeros = params.votes_per_object - ones;
+    bool verdict;
+    if (ones > zeros) {
+      verdict = true;
+    } else if (zeros > ones) {
+      verdict = false;
+    } else {
+      verdict = (assign() & 1) != 0;
+      ties.fetch_add(1, std::memory_order_relaxed);
+    }
+    verdicts[o] = verdict ? 1 : 0;
+  });
+
+  BitVector prediction(n_objects);
+  for (std::size_t o = 0; o < n_objects; ++o) prediction.set(o, verdicts[o] != 0);
+  if (stats != nullptr) {
+    stats->reports += reports.load();
+    stats->ties += ties.load();
+  }
+  return prediction;
+}
+
+bool cluster_budget_ok(std::span<const std::size_t> budgets, std::size_t n_objects,
+                       std::size_t votes_per_object) {
+  const std::uint64_t total =
+      std::accumulate(budgets.begin(), budgets.end(), std::uint64_t{0});
+  return total >= static_cast<std::uint64_t>(n_objects) * votes_per_object;
+}
+
+}  // namespace colscore

@@ -1,0 +1,36 @@
+// §8 extension: heterogeneous budgets.
+//
+// Some players accept a large probing budget B_big, others only B_small. The
+// paper sketches the fix: clusters must contain enough *aggregate* budget
+// rather than enough members. We implement the two changed pieces:
+//   * budget-weighted vote assignment — a member is chosen to probe an
+//     object with probability proportional to its budget, so each player's
+//     expected probe load is proportional to what it signed up for;
+//   * an aggregate-budget check for clusters (callers form clusters with the
+//     standard pipeline and verify coverage with cluster_budget_ok).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/bitvector.hpp"
+#include "src/protocols/env.hpp"
+#include "src/protocols/work_share.hpp"
+
+namespace colscore {
+
+/// Budget-weighted voting phase. `budgets[i]` is the budget of members[i]
+/// (relative weights only; scale does not matter).
+BitVector weighted_cluster_votes(std::span<const PlayerId> members,
+                                 std::span<const std::size_t> budgets,
+                                 ProtocolEnv& env, std::uint64_t phase_key,
+                                 const WorkShareParams& params,
+                                 WorkShareStats* stats = nullptr);
+
+/// §8 criterion: the cluster can cover all objects with `votes_per_object`
+/// redundancy iff the aggregate budget (sum of member budgets) is at least
+/// n_objects * votes_per_object.
+bool cluster_budget_ok(std::span<const std::size_t> budgets, std::size_t n_objects,
+                       std::size_t votes_per_object);
+
+}  // namespace colscore

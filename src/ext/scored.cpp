@@ -1,0 +1,134 @@
+#include "src/ext/scored.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+
+namespace colscore {
+
+ScoreMatrix::ScoreMatrix(std::size_t n_players, std::size_t n_objects,
+                         std::uint8_t levels)
+    : n_objects_(n_objects), rows_(n_players * n_objects), levels_(levels),
+      scores_(rows_, 0) {
+  CS_ASSERT(levels >= 2, "ScoreMatrix: need at least 2 levels");
+}
+
+std::uint8_t ScoreMatrix::score(PlayerId p, ObjectId o) const {
+  CS_ASSERT(p * n_objects_ + o < scores_.size(), "score: out of range");
+  return scores_[p * n_objects_ + o];
+}
+
+void ScoreMatrix::set_score(PlayerId p, ObjectId o, std::uint8_t s) {
+  CS_ASSERT(s < levels_, "set_score: score exceeds levels");
+  scores_[p * n_objects_ + o] = s;
+}
+
+std::size_t ScoreMatrix::l1_distance(PlayerId p, PlayerId q) const {
+  std::size_t total = 0;
+  for (ObjectId o = 0; o < n_objects_; ++o) {
+    const int a = score(p, o);
+    const int b = score(q, o);
+    total += static_cast<std::size_t>(a > b ? a - b : b - a);
+  }
+  return total;
+}
+
+PreferenceMatrix ScoreMatrix::layer(std::uint8_t t) const {
+  CS_ASSERT(t >= 1 && t < levels_, "layer: threshold out of range");
+  PreferenceMatrix m(n_players(), n_objects_);
+  for (PlayerId p = 0; p < n_players(); ++p)
+    for (ObjectId o = 0; o < n_objects_; ++o)
+      if (score(p, o) >= t) m.set(p, o, true);
+  return m;
+}
+
+ScoredWorld planted_scored_clusters(std::size_t n_players, std::size_t n_objects,
+                                    std::size_t n_clusters, std::uint8_t levels,
+                                    std::size_t l1_diameter, Rng rng) {
+  ScoredWorld w;
+  w.scores = ScoreMatrix(n_players, n_objects, levels);
+  w.cluster_of.assign(n_players, kNoCluster);
+  w.planted_l1_diameter = l1_diameter;
+
+  const std::size_t per_cluster = n_players / n_clusters;
+  PlayerId next = 0;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    std::vector<std::uint8_t> center(n_objects);
+    for (auto& s : center) s = static_cast<std::uint8_t>(rng.below(levels));
+    const std::size_t size =
+        c + 1 == n_clusters ? n_players - next : per_cluster;
+    for (std::size_t i = 0; i < size; ++i, ++next) {
+      w.cluster_of[next] = static_cast<std::uint32_t>(c);
+      std::vector<std::uint8_t> row = center;
+      // Spend up to l1_diameter/2 mass on +/-1 perturbations.
+      std::size_t mass = rng.below(l1_diameter / 2 + 1);
+      while (mass > 0) {
+        const auto o = static_cast<ObjectId>(rng.below(n_objects));
+        const bool up = rng.chance(0.5);
+        if (up && row[o] + 1 < levels) {
+          ++row[o];
+          --mass;
+        } else if (!up && row[o] > 0) {
+          --row[o];
+          --mass;
+        } else {
+          --mass;  // saturated direction: forfeit the unit to stay bounded
+        }
+      }
+      for (ObjectId o = 0; o < n_objects; ++o) w.scores.set_score(next, o, row[o]);
+    }
+  }
+  return w;
+}
+
+ScoredResult scored_calculate_preferences(const ScoredWorld& world,
+                                          const Population& population,
+                                          const Params& params, std::uint64_t seed) {
+  const std::size_t n = world.scores.n_players();
+  const std::size_t n_objects = world.scores.n_objects();
+  const std::uint8_t levels = world.scores.levels();
+
+  ScoredResult result;
+  result.outputs.assign(n, std::vector<std::uint8_t>(n_objects, 0));
+  std::vector<std::uint64_t> probes(n, 0);
+
+  for (std::uint8_t t = 1; t < levels; ++t) {
+    const PreferenceMatrix layer = world.scores.layer(t);
+    ProbeOracle oracle(layer);
+    BulletinBoard board;
+    HonestBeacon beacon(mix_keys(seed, 0xbeacULL, t));
+    ProtocolEnv env(oracle, board, population, beacon, mix_keys(seed, 0x10ca1ULL));
+    const ProtocolResult layer_result =
+        calculate_preferences(env, params, mix_keys(seed, 0x1a4e8ULL, t));
+    for (PlayerId p = 0; p < n; ++p) {
+      for (ObjectId o = 0; o < n_objects; ++o)
+        if (layer_result.outputs[p].get(o))
+          ++result.outputs[p][o];  // layers sum back to the score
+      probes[p] += layer_result.probes_by_player[p];
+    }
+  }
+
+  for (PlayerId p = 0; p < n; ++p) {
+    result.total_probes += probes[p];
+    result.max_probes = std::max(result.max_probes, probes[p]);
+  }
+  return result;
+}
+
+std::size_t scored_max_error(const ScoredWorld& world, const Population& population,
+                             const ScoredResult& result) {
+  std::size_t worst = 0;
+  for (PlayerId p = 0; p < world.scores.n_players(); ++p) {
+    if (!population.is_honest(p)) continue;
+    std::size_t err = 0;
+    for (ObjectId o = 0; o < world.scores.n_objects(); ++o) {
+      const int a = world.scores.score(p, o);
+      const int b = result.outputs[p][o];
+      err += static_cast<std::size_t>(a > b ? a - b : b - a);
+    }
+    worst = std::max(worst, err);
+  }
+  return worst;
+}
+
+}  // namespace colscore

@@ -1,0 +1,51 @@
+#include "src/metrics/optimal.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+#include "src/common/thread_pool.hpp"
+
+namespace colscore {
+
+OptEstimate opt_radius(const PreferenceMatrix& truth, std::size_t group_size) {
+  const std::size_t n = truth.n_players();
+  CS_ASSERT(group_size >= 1 && group_size <= n, "opt_radius: bad group size");
+  OptEstimate est;
+  est.radius.assign(n, 0);
+
+  parallel_for(0, n, [&](std::size_t p) {
+    std::vector<std::size_t> dists;
+    dists.reserve(n - 1);
+    for (PlayerId q = 0; q < n; ++q) {
+      if (q == p) continue;
+      dists.push_back(truth.distance(static_cast<PlayerId>(p), q));
+    }
+    const std::size_t k = group_size >= 2 ? group_size - 2 : 0;  // index of the
+    // (group_size-1)-th nearest other player
+    std::nth_element(dists.begin(), dists.begin() + static_cast<long>(k), dists.end());
+    est.radius[p] = dists[k];
+  });
+
+  double total = 0;
+  for (std::size_t r : est.radius) {
+    est.max_radius = std::max(est.max_radius, r);
+    total += static_cast<double>(r);
+  }
+  est.mean_radius = total / static_cast<double>(n);
+  return est;
+}
+
+double worst_approx_ratio(const std::vector<std::size_t>& errors,
+                          const std::vector<PlayerId>& players,
+                          const OptEstimate& opt) {
+  CS_ASSERT(errors.size() == players.size(), "worst_approx_ratio: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < players.size(); ++i) {
+    const double denom =
+        std::max<double>(1.0, static_cast<double>(opt.radius[players[i]]));
+    worst = std::max(worst, static_cast<double>(errors[i]) / denom);
+  }
+  return worst;
+}
+
+}  // namespace colscore

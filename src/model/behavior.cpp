@@ -1,0 +1,93 @@
+#include "src/model/behavior.hpp"
+
+#include "src/model/preference_matrix.hpp"
+
+namespace colscore {
+
+bool RandomLiar::report(PlayerId, ObjectId, bool truth, const ReportContext&,
+                        Rng& rng) {
+  return rng.chance(lie_p_) ? rng.chance(0.5) : truth;
+}
+
+BitVector RandomLiar::publish(PlayerId, const BitVector& honest_vector,
+                              std::span<const ObjectId>, const ReportContext&,
+                              Rng& rng) {
+  BitVector out = honest_vector;
+  for (std::size_t i = 0; i < out.size(); ++i)
+    if (rng.chance(lie_p_)) out.set(i, rng.chance(0.5));
+  return out;
+}
+
+BitVector TargetedBias::publish(PlayerId, const BitVector& honest_vector,
+                                std::span<const ObjectId> objects,
+                                const ReportContext&, Rng&) {
+  BitVector out = honest_vector;
+  for (std::size_t i = 0; i < objects.size(); ++i)
+    if (targets_.contains(objects[i])) out.set(i, value_);
+  return out;
+}
+
+bool ClusterHijacker::report(PlayerId, ObjectId object, bool, const ReportContext& ctx,
+                             Rng&) {
+  const bool victim_truth = truth_->preference(victim_, object);
+  return ctx.phase == Phase::kVote ? !victim_truth : victim_truth;
+}
+
+BitVector ClusterHijacker::publish(PlayerId, const BitVector& honest_vector,
+                                   std::span<const ObjectId> objects,
+                                   const ReportContext& ctx, Rng&) {
+  BitVector out(honest_vector.size());
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    const bool victim_truth = truth_->preference(victim_, objects[i]);
+    out.set(i, ctx.phase == Phase::kVote ? !victim_truth : victim_truth);
+  }
+  return out;
+}
+
+StrangeObjectColluder::StrangeObjectColluder(const PreferenceMatrix& truth,
+                                             std::size_t neighborhood_diameter,
+                                             double strange_ratio)
+    : truth_(&truth), diameter_(neighborhood_diameter), ratio_(strange_ratio) {}
+
+void StrangeObjectColluder::ensure_plan(PlayerId self) {
+  if (planned_for_.load(std::memory_order_acquire) == self) return;
+  std::lock_guard lock(plan_mutex_);
+  if (planned_for_.load(std::memory_order_relaxed) == self) return;
+  const std::size_t n_objects = truth_->n_objects();
+  plan_.assign(n_objects, 0);
+  strange_count_ = 0;
+
+  // Approximate the cluster as the colluder's true D-neighbourhood.
+  std::vector<PlayerId> peers;
+  for (PlayerId q = 0; q < truth_->n_players(); ++q)
+    if (truth_->distance(self, q) <= diameter_) peers.push_back(q);
+
+  for (ObjectId o = 0; o < n_objects; ++o) {
+    std::size_t ones = 0;
+    for (PlayerId q : peers)
+      if (truth_->preference(q, o)) ++ones;
+    const std::size_t zeros = peers.size() - ones;
+    const auto hi = static_cast<double>(std::max(ones, zeros));
+    const auto lo = static_cast<double>(std::min(ones, zeros));
+    if (lo > 0 && hi <= ratio_ * lo) {
+      // Strange object: side with the honest minority.
+      plan_[o] = ones <= zeros ? 2 : 1;
+      ++strange_count_;
+    }
+  }
+  planned_for_.store(self, std::memory_order_release);
+}
+
+bool StrangeObjectColluder::report(PlayerId self, ObjectId object, bool truth,
+                                   const ReportContext& ctx, Rng&) {
+  if (ctx.phase != Phase::kVote) return truth;  // stay in-cluster
+  ensure_plan(self);
+  if (plan_[object] == 0) return truth;
+  return plan_[object] == 2;
+}
+
+std::size_t StrangeObjectColluder::strange_objects(PlayerId self) const {
+  return planned_for_.load(std::memory_order_acquire) == self ? strange_count_ : 0;
+}
+
+}  // namespace colscore

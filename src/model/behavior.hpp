@@ -1,0 +1,202 @@
+// Player behaviours. Honest players follow the protocol; dishonest players
+// ("Byzantine", §2/§7) may report and publish anything. Strategies receive
+// the *protocol-compliant* value they are expected to produce plus full
+// omniscient context (the truth matrix and the protocol phase), making them
+// at least as strong as the paper's adversary.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_set>
+
+#include "src/common/bitvector.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+
+namespace colscore {
+
+class PreferenceMatrix;
+
+/// Which part of the protocol is asking. Lets strategies behave differently
+/// while clusters are being formed vs while votes are being cast.
+enum class Phase : std::uint8_t {
+  kSample,       // sample-set probing (SmallRadius on S)
+  kZeroRadius,   // inside ZeroRadius recursion
+  kSmallRadius,  // SmallRadius orchestration outside ZeroRadius
+  kClusterGraph, // neighbor-graph construction
+  kVote,         // work-sharing probe/vote phase (step 1.e)
+  kSelect,       // RSelect/Select probing (always the player's own probes)
+  kElection,     // leader election
+  kOther,
+};
+
+struct ReportContext {
+  Phase phase = Phase::kOther;
+  std::uint64_t tag = 0;  // board channel of the interaction
+};
+
+class Behavior {
+ public:
+  virtual ~Behavior() = default;
+
+  virtual bool honest() const { return true; }
+
+  /// Bit this player reports when the protocol expects `truth`.
+  virtual bool report(PlayerId self, ObjectId object, bool truth,
+                      const ReportContext& ctx, Rng& rng) {
+    (void)self; (void)object; (void)ctx; (void)rng;
+    return truth;
+  }
+
+  /// Vector this player publishes when the protocol expects `honest_vector`.
+  /// `objects[i]` is the global object id of bit i (the published subset).
+  virtual BitVector publish(PlayerId self, const BitVector& honest_vector,
+                            std::span<const ObjectId> objects,
+                            const ReportContext& ctx, Rng& rng) {
+    (void)self; (void)objects; (void)ctx; (void)rng;
+    return honest_vector;
+  }
+};
+
+/// Protocol-compliant player.
+class HonestBehavior final : public Behavior {};
+
+/// Reports a coin flip regardless of truth: the "too busy to read the paper"
+/// reviewer from the introduction.
+class RandomLiar final : public Behavior {
+ public:
+  explicit RandomLiar(double lie_probability = 1.0) : lie_p_(lie_probability) {}
+  bool honest() const override { return false; }
+  bool report(PlayerId, ObjectId, bool truth, const ReportContext&, Rng& rng) override;
+  BitVector publish(PlayerId, const BitVector& honest_vector,
+                    std::span<const ObjectId>, const ReportContext&, Rng& rng) override;
+
+ private:
+  double lie_p_;
+};
+
+/// Always reports the opposite of the truth (maximally anti-correlated).
+class Inverter final : public Behavior {
+ public:
+  bool honest() const override { return false; }
+  bool report(PlayerId, ObjectId, bool truth, const ReportContext&, Rng&) override {
+    return !truth;
+  }
+  BitVector publish(PlayerId, const BitVector& honest_vector,
+                    std::span<const ObjectId>, const ReportContext&, Rng&) override {
+    return ~honest_vector;
+  }
+};
+
+/// Ballot stuffing: claims to like (or dislike) every object.
+class ConstantReporter final : public Behavior {
+ public:
+  explicit ConstantReporter(bool value) : value_(value) {}
+  bool honest() const override { return false; }
+  bool report(PlayerId, ObjectId, bool, const ReportContext&, Rng&) override {
+    return value_;
+  }
+  BitVector publish(PlayerId, const BitVector& honest_vector,
+                    std::span<const ObjectId>, const ReportContext&, Rng&) override {
+    return BitVector(honest_vector.size(), value_);
+  }
+
+ private:
+  bool value_;
+};
+
+/// Collusive promotion: truthful everywhere except a chosen object set, where
+/// it always reports `value` (e.g. "our colleagues' papers are great").
+/// Stealthy — hard to distinguish from a slightly-different honest player.
+class TargetedBias final : public Behavior {
+ public:
+  TargetedBias(std::unordered_set<ObjectId> targets, bool value)
+      : targets_(std::move(targets)), value_(value) {}
+  bool honest() const override { return false; }
+  bool report(PlayerId, ObjectId object, bool truth, const ReportContext&,
+              Rng&) override {
+    return targets_.contains(object) ? value_ : truth;
+  }
+  BitVector publish(PlayerId, const BitVector& honest_vector,
+                    std::span<const ObjectId> objects, const ReportContext&,
+                    Rng&) override;
+
+ private:
+  std::unordered_set<ObjectId> targets_;
+  bool value_;
+};
+
+/// The cluster-hijack attack §7.2 defends against: mimic a victim player
+/// during sampling/clustering so the protocol places the attacker inside the
+/// victim's cluster, then report the *inverse* of the victim's preferences
+/// during the voting phase.
+class ClusterHijacker final : public Behavior {
+ public:
+  ClusterHijacker(const PreferenceMatrix& truth, PlayerId victim)
+      : truth_(&truth), victim_(victim) {}
+  bool honest() const override { return false; }
+  bool report(PlayerId self, ObjectId object, bool truth, const ReportContext& ctx,
+              Rng& rng) override;
+  BitVector publish(PlayerId self, const BitVector& honest_vector,
+                    std::span<const ObjectId> objects, const ReportContext& ctx,
+                    Rng& rng) override;
+
+ private:
+  const PreferenceMatrix* truth_;
+  PlayerId victim_;
+};
+
+/// Behaves honestly until the voting phase, then lies. Defeats naive
+/// "evaluate trust during clustering" defenses.
+class Sleeper final : public Behavior {
+ public:
+  bool honest() const override { return false; }
+  bool report(PlayerId, ObjectId, bool truth, const ReportContext& ctx, Rng&) override {
+    return ctx.phase == Phase::kVote ? !truth : truth;
+  }
+};
+
+/// The optimal collusive voting attack against Lemma 13.
+///
+/// The lemma's proof splits objects into "settled" (the honest cluster
+/// members agree >5:1 — dishonest votes cannot flip them) and "strange"
+/// (the honest side is split) and shows there are only O(D) strange objects
+/// per cluster. This strategy spends the adversary's votes exactly where
+/// they can matter: it behaves honestly through clustering (so it sits
+/// inside its own cluster, like a Sleeper), and during the vote it sides
+/// with the honest *minority* on every strange object while staying
+/// truthful on settled ones (maximally stealthy). The omniscient setup — it
+/// reads the truth matrix to find its D-neighbourhood and the per-object
+/// splits — upper-bounds anything a real colluder could do.
+class StrangeObjectColluder final : public Behavior {
+ public:
+  /// `neighborhood_diameter` approximates the cluster: players within this
+  /// true distance of the colluder count as cluster peers.
+  StrangeObjectColluder(const PreferenceMatrix& truth, std::size_t neighborhood_diameter,
+                        double strange_ratio = 5.0);
+
+  bool honest() const override { return false; }
+  bool report(PlayerId self, ObjectId object, bool truth, const ReportContext& ctx,
+              Rng& rng) override;
+
+  /// Number of objects this colluder classified as strange (diagnostics).
+  std::size_t strange_objects(PlayerId self) const;
+
+ private:
+  void ensure_plan(PlayerId self);
+
+  const PreferenceMatrix* truth_;
+  std::size_t diameter_;
+  double ratio_;
+  /// Vote phases run object-parallel, so plan construction must be guarded.
+  std::mutex plan_mutex_;
+  std::atomic<PlayerId> planned_for_{kInvalidPlayer};
+  /// Per-object attack plan: 0 = vote truth, 1 = vote 0, 2 = vote 1.
+  std::vector<std::uint8_t> plan_;
+  std::size_t strange_count_ = 0;
+};
+
+}  // namespace colscore

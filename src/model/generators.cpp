@@ -1,0 +1,204 @@
+#include "src/model/generators.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/assert.hpp"
+
+namespace colscore {
+
+std::vector<PlayerId> World::cluster_members(std::uint32_t c) const {
+  std::vector<PlayerId> out;
+  for (PlayerId p = 0; p < cluster_of.size(); ++p)
+    if (cluster_of[p] == c) out.push_back(p);
+  return out;
+}
+
+std::size_t World::min_cluster_size() const {
+  if (n_clusters == 0) return 0;
+  std::vector<std::size_t> sizes(n_clusters, 0);
+  for (std::uint32_t c : cluster_of)
+    if (c != kNoCluster) ++sizes[c];
+  return *std::min_element(sizes.begin(), sizes.end());
+}
+
+namespace {
+
+/// Splits n players into k group sizes (each >= 1).
+std::vector<std::size_t> group_sizes(std::size_t n, std::size_t k, bool zipf, Rng& rng) {
+  CS_ASSERT(k >= 1 && n >= k, "group_sizes: need n >= k >= 1");
+  std::vector<std::size_t> sizes(k, 0);
+  if (!zipf) {
+    for (std::size_t i = 0; i < k; ++i) sizes[i] = n / k + (i < n % k ? 1 : 0);
+    return sizes;
+  }
+  // Zipf-ish weights 1/rank, then distribute remainders randomly.
+  std::vector<double> weights(k);
+  double total = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    weights[i] = 1.0 / static_cast<double>(i + 1);
+    total += weights[i];
+  }
+  std::size_t assigned = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    sizes[i] = std::max<std::size_t>(
+        1, static_cast<std::size_t>(weights[i] / total * static_cast<double>(n)));
+    assigned += sizes[i];
+  }
+  while (assigned > n) {
+    const auto i = static_cast<std::size_t>(rng.below(k));
+    if (sizes[i] > 1) {
+      --sizes[i];
+      --assigned;
+    }
+  }
+  while (assigned < n) {
+    ++sizes[rng.below(k)];
+    ++assigned;
+  }
+  return sizes;
+}
+
+}  // namespace
+
+World identical_clusters(std::size_t n_players, std::size_t n_objects,
+                         std::size_t n_clusters, Rng rng) {
+  World w;
+  w.matrix = PreferenceMatrix(n_players, n_objects);
+  w.cluster_of.assign(n_players, kNoCluster);
+  w.n_clusters = n_clusters;
+  w.planted_diameter = 0;
+  w.description = "identical_clusters";
+
+  const auto sizes = group_sizes(n_players, n_clusters, /*zipf=*/false, rng);
+  PlayerId next = 0;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    const BitVector center = random_bitvector(n_objects, rng);
+    for (std::size_t i = 0; i < sizes[c]; ++i, ++next) {
+      w.matrix.row(next) = center;
+      w.cluster_of[next] = static_cast<std::uint32_t>(c);
+    }
+  }
+  return w;
+}
+
+World planted_clusters(std::size_t n_players, std::size_t n_objects,
+                       std::size_t n_clusters, std::size_t diameter, Rng rng,
+                       bool zipf_sizes) {
+  CS_ASSERT(diameter <= n_objects, "planted_clusters: diameter > n_objects");
+  World w;
+  w.matrix = PreferenceMatrix(n_players, n_objects);
+  w.cluster_of.assign(n_players, kNoCluster);
+  w.n_clusters = n_clusters;
+  w.planted_diameter = diameter;
+  w.description = "planted_clusters";
+
+  const auto sizes = group_sizes(n_players, n_clusters, zipf_sizes, rng);
+  const std::size_t radius = diameter / 2;
+  PlayerId next = 0;
+  for (std::size_t c = 0; c < n_clusters; ++c) {
+    const BitVector center = random_bitvector(n_objects, rng);
+    for (std::size_t i = 0; i < sizes[c]; ++i, ++next) {
+      BitVector v = center;
+      if (radius > 0) v.flip_random(rng, rng.below(radius + 1));
+      w.matrix.row(next) = std::move(v);
+      w.cluster_of[next] = static_cast<std::uint32_t>(c);
+    }
+  }
+  return w;
+}
+
+World lower_bound_instance(std::size_t n, std::size_t budget, std::size_t diameter,
+                           Rng rng) {
+  CS_ASSERT(budget >= 1 && diameter <= n, "lower_bound_instance: bad params");
+  World w;
+  w.matrix = PreferenceMatrix(n, n);
+  w.cluster_of.assign(n, kNoCluster);
+  w.n_clusters = 1;
+  w.planted_diameter = diameter;
+  w.description = "lower_bound_instance";
+
+  const std::size_t group = std::max<std::size_t>(2, n / budget);
+
+  // Special object set S: `diameter` distinct objects.
+  std::vector<ObjectId> all_objects(n);
+  std::iota(all_objects.begin(), all_objects.end(), 0);
+  for (std::size_t i = 0; i < diameter; ++i) {
+    const std::size_t j = i + rng.below(n - i);
+    std::swap(all_objects[i], all_objects[j]);
+  }
+
+  // Pivot p = player 0 gets a random vector.
+  w.matrix.row(0) = random_bitvector(n, rng);
+  w.cluster_of[0] = 0;
+  // Members of P copy the pivot except on S, where their bits are random.
+  for (PlayerId q = 1; q < group; ++q) {
+    BitVector v = w.matrix.row(0);
+    for (std::size_t i = 0; i < diameter; ++i) v.set(all_objects[i], rng.chance(0.5));
+    w.matrix.row(q) = std::move(v);
+    w.cluster_of[q] = 0;
+  }
+  // Everyone else is fully random.
+  for (PlayerId q = static_cast<PlayerId>(group); q < n; ++q)
+    w.matrix.row(q) = random_bitvector(n, rng);
+  return w;
+}
+
+World chained_clusters(std::size_t n_players, std::size_t n_objects,
+                       std::size_t n_links, std::size_t step, Rng rng) {
+  CS_ASSERT(n_links >= 2, "chained_clusters: need >= 2 links");
+  CS_ASSERT(n_links * step <= n_objects,
+            "chained_clusters: chain longer than object universe");
+  World w;
+  w.matrix = PreferenceMatrix(n_players, n_objects);
+  w.cluster_of.assign(n_players, kNoCluster);
+  w.n_clusters = n_links;
+  w.planted_diameter = step;  // distance between *adjacent* links
+  w.description = "chained_clusters";
+
+  // Link i's center flips objects [i*step, (i+1)*step) relative to link i-1,
+  // so dist(center_i, center_j) = |i-j| * step exactly.
+  BitVector center = random_bitvector(n_objects, rng);
+  const auto sizes = group_sizes(n_players, n_links, /*zipf=*/false, rng);
+  PlayerId next = 0;
+  for (std::size_t link = 0; link < n_links; ++link) {
+    if (link > 0)
+      for (std::size_t o = (link - 1) * step; o < link * step; ++o) center.flip(o);
+    for (std::size_t i = 0; i < sizes[link]; ++i, ++next) {
+      w.matrix.row(next) = center;
+      w.cluster_of[next] = static_cast<std::uint32_t>(link);
+    }
+  }
+  return w;
+}
+
+World uniform_random(std::size_t n_players, std::size_t n_objects, Rng rng) {
+  World w;
+  w.matrix = PreferenceMatrix(n_players, n_objects);
+  w.cluster_of.assign(n_players, kNoCluster);
+  w.n_clusters = 0;
+  w.planted_diameter = n_objects;
+  w.description = "uniform_random";
+  for (PlayerId p = 0; p < n_players; ++p)
+    w.matrix.row(p) = random_bitvector(n_objects, rng);
+  return w;
+}
+
+World two_blocks(std::size_t n_players, std::size_t n_objects, Rng rng) {
+  World w;
+  w.matrix = PreferenceMatrix(n_players, n_objects);
+  w.cluster_of.assign(n_players, kNoCluster);
+  w.n_clusters = 2;
+  w.planted_diameter = 0;
+  w.description = "two_blocks";
+  const BitVector likes = random_bitvector(n_objects, rng);
+  const BitVector dislikes = ~likes;
+  for (PlayerId p = 0; p < n_players; ++p) {
+    const bool first = p < n_players / 2;
+    w.matrix.row(p) = first ? likes : dislikes;
+    w.cluster_of[p] = first ? 0 : 1;
+  }
+  return w;
+}
+
+}  // namespace colscore

@@ -1,0 +1,72 @@
+// Workload generators. Each returns the hidden preference matrix plus the
+// planted structure metadata that experiments use to compute reference
+// optima (planted diameter, cluster membership).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/model/preference_matrix.hpp"
+
+namespace colscore {
+
+struct World {
+  PreferenceMatrix matrix;
+  /// Planted cluster id per player; kInvalidPlayer-sized value (= no cluster)
+  /// for background players.
+  std::vector<std::uint32_t> cluster_of;
+  /// Upper bound on the diameter of every planted cluster (0 = identical).
+  std::size_t planted_diameter = 0;
+  /// Number of planted clusters (background players excluded).
+  std::size_t n_clusters = 0;
+  std::string description;
+
+  std::size_t n_players() const { return matrix.n_players(); }
+  std::size_t n_objects() const { return matrix.n_objects(); }
+
+  /// Player ids of cluster `c`.
+  std::vector<PlayerId> cluster_members(std::uint32_t c) const;
+  /// Smallest planted cluster size (0 if none).
+  std::size_t min_cluster_size() const;
+};
+
+inline constexpr std::uint32_t kNoCluster = static_cast<std::uint32_t>(-1);
+
+/// Players partitioned into `n_clusters` groups with *identical* preferences
+/// inside each group (the ZeroRadius assumption, Theorem 4).
+World identical_clusters(std::size_t n_players, std::size_t n_objects,
+                         std::size_t n_clusters, Rng rng);
+
+/// Cluster centers are uniform; each member flips at most diameter/2 random
+/// positions of its center, so intra-cluster distance <= diameter.
+/// `zipf_sizes` skews cluster sizes ~ 1/rank instead of equal split.
+World planted_clusters(std::size_t n_players, std::size_t n_objects,
+                       std::size_t n_clusters, std::size_t diameter, Rng rng,
+                       bool zipf_sizes = false);
+
+/// The Claim 2 lower-bound distribution: a pivot player p (id 0) and a set P
+/// of n/budget players agreeing with p everywhere except a special set S of
+/// `diameter` objects where members are random; everyone else fully random.
+/// No B-budget algorithm can predict p's bits on S better than guessing.
+World lower_bound_instance(std::size_t n, std::size_t budget, std::size_t diameter,
+                           Rng rng);
+
+/// A chain of `n_links` groups; consecutive group centers differ in `step`
+/// positions (cumulative along the chain). Each group is intentionally
+/// smaller than n/budget so any n/budget-sized neighbourhood must span
+/// ~(n/budget)/group_size consecutive links — the workload on which
+/// star-neighbourhood baselines (Alon et al. [2,3] reconstruction) pay a
+/// diameter factor ~B while diameter-controlled clustering stays at O(step).
+World chained_clusters(std::size_t n_players, std::size_t n_objects,
+                       std::size_t n_links, std::size_t step, Rng rng);
+
+/// No structure at all: every bit independent fair coin. Collaboration is
+/// provably useless here; used as a degenerate stress input.
+World uniform_random(std::size_t n_players, std::size_t n_objects, Rng rng);
+
+/// Two taste camps that disagree on everything (max separation sanity case).
+World two_blocks(std::size_t n_players, std::size_t n_objects, Rng rng);
+
+}  // namespace colscore

@@ -1,0 +1,80 @@
+#include "src/model/population.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "src/common/assert.hpp"
+
+namespace colscore {
+
+Population::Population(std::size_t n_players) : behaviors_(n_players) {
+  for (auto& b : behaviors_) b = std::make_unique<HonestBehavior>();
+}
+
+void Population::set_behavior(PlayerId p, std::unique_ptr<Behavior> behavior) {
+  CS_ASSERT(p < behaviors_.size(), "set_behavior: bad player");
+  CS_ASSERT(behavior != nullptr, "set_behavior: null behavior");
+  behaviors_[p] = std::move(behavior);
+}
+
+bool Population::is_honest(PlayerId p) const { return behavior(p).honest(); }
+
+std::size_t Population::honest_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(behaviors_.begin(), behaviors_.end(),
+                    [](const auto& b) { return b->honest(); }));
+}
+
+std::vector<PlayerId> Population::honest_players() const {
+  std::vector<PlayerId> out;
+  for (PlayerId p = 0; p < behaviors_.size(); ++p)
+    if (behaviors_[p]->honest()) out.push_back(p);
+  return out;
+}
+
+std::vector<PlayerId> Population::dishonest_players() const {
+  std::vector<PlayerId> out;
+  for (PlayerId p = 0; p < behaviors_.size(); ++p)
+    if (!behaviors_[p]->honest()) out.push_back(p);
+  return out;
+}
+
+Behavior& Population::behavior(PlayerId p) const {
+  CS_ASSERT(p < behaviors_.size(), "behavior: bad player");
+  return *behaviors_[p];
+}
+
+bool Population::report_of(PlayerId p, ObjectId o, ProbeOracle& oracle,
+                           const ReportContext& ctx, Rng& rng) const {
+  if (is_honest(p)) return oracle.probe(p, o);
+  const bool truth = oracle.adversary_peek(p, o);
+  return behaviors_[p]->report(p, o, truth, ctx, rng);
+}
+
+BitVector Population::publication(PlayerId p, const BitVector& honest_vector,
+                                  std::span<const ObjectId> objects,
+                                  const ReportContext& ctx, Rng& rng) const {
+  if (is_honest(p)) return honest_vector;
+  return behaviors_[p]->publish(p, honest_vector, objects, ctx, rng);
+}
+
+Population Population::honest(std::size_t n_players) { return Population(n_players); }
+
+void Population::corrupt_random(std::size_t count, Rng& rng,
+                                const std::function<std::unique_ptr<Behavior>()>& factory,
+                                PlayerId protected_player) {
+  CS_ASSERT(count <= size(), "corrupt_random: too many");
+  std::vector<PlayerId> ids(size());
+  std::iota(ids.begin(), ids.end(), 0);
+  if (protected_player != kInvalidPlayer) {
+    ids.erase(std::remove(ids.begin(), ids.end(), protected_player), ids.end());
+    CS_ASSERT(count <= ids.size(), "corrupt_random: too many after protection");
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::size_t j = i + rng.below(ids.size() - i);
+    std::swap(ids[i], ids[j]);
+    set_behavior(ids[i], factory());
+  }
+}
+
+}  // namespace colscore

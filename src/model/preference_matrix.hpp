@@ -1,0 +1,36 @@
+// Ground-truth preference matrix: one binary vector per player (§2).
+#pragma once
+
+#include <vector>
+
+#include "src/board/probe_oracle.hpp"
+#include "src/common/bitvector.hpp"
+#include "src/common/types.hpp"
+
+namespace colscore {
+
+class PreferenceMatrix final : public TruthSource {
+ public:
+  PreferenceMatrix() = default;
+  PreferenceMatrix(std::size_t n_players, std::size_t n_objects);
+
+  bool preference(PlayerId p, ObjectId o) const override;
+  std::size_t n_players() const override { return rows_.size(); }
+  std::size_t n_objects() const override { return n_objects_; }
+
+  const BitVector& row(PlayerId p) const;
+  BitVector& row(PlayerId p);
+  void set(PlayerId p, ObjectId o, bool value);
+
+  /// Hamming distance between two players' true vectors.
+  std::size_t distance(PlayerId p, PlayerId q) const;
+
+  /// Max pairwise distance within `members`.
+  std::size_t diameter(std::span<const PlayerId> members) const;
+
+ private:
+  std::size_t n_objects_ = 0;
+  std::vector<BitVector> rows_;
+};
+
+}  // namespace colscore

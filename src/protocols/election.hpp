@@ -1,0 +1,40 @@
+// Byzantine-tolerant leader election in the full-information model (§7.1,
+// after Feige's lightest-bin protocol [10]).
+//
+// Each round the remaining players announce a bin choice on the bulletin
+// board; the members of the lightest non-empty bin survive. Honest players
+// choose uniformly at random; the colluding dishonest players are *rushing* —
+// they observe every honest choice first and then place their own balls with
+// a greedy capture strategy (maximize their fraction of the winning bin).
+// With a dishonest fraction below 1/2 an honest leader wins with constant
+// probability, which is all §7.1 needs: the outer loop repeats the election
+// Θ(log n) times and RSelect discards the candidates produced under
+// dishonest leaders.
+#pragma once
+
+#include <vector>
+
+#include "src/protocols/env.hpp"
+
+namespace colscore {
+
+struct ElectionParams {
+  /// Target expected players per bin (bins = max(2, |R| / bin_load)).
+  std::size_t bin_load = 8;
+  /// Hard stop; the protocol converges long before this.
+  std::size_t max_rounds = 256;
+};
+
+struct ElectionResult {
+  PlayerId leader = kInvalidPlayer;
+  bool leader_honest = false;
+  std::size_t rounds = 0;
+};
+
+/// Runs one election among all players in the population. `phase_key` scopes
+/// the board channel; honest players draw their bin choices from their local
+/// randomness streams.
+ElectionResult feige_election(ProtocolEnv& env, std::uint64_t phase_key,
+                              const ElectionParams& params = {});
+
+}  // namespace colscore

@@ -1,0 +1,66 @@
+// Execution environment threaded through every protocol: the probe oracle,
+// the public bulletin board, the behaviour table, the shared-randomness
+// beacon, and a root for players' local (non-shared) randomness.
+//
+// Key derivation convention: every protocol invocation owns a 64-bit
+// `phase_key`; sub-phases, board channels and per-player local streams are
+// derived with mix_keys so the whole simulation is reproducible and
+// independent of thread scheduling.
+#pragma once
+
+#include <atomic>
+
+#include "src/board/bulletin_board.hpp"
+#include "src/board/probe_oracle.hpp"
+#include "src/board/shared_random.hpp"
+#include "src/model/population.hpp"
+
+namespace colscore {
+
+struct ProtocolEnv {
+  ProtocolEnv(ProbeOracle& oracle_in, BulletinBoard& board_in,
+              const Population& population_in, RandomnessBeacon& beacon_in,
+              std::uint64_t local_seed_in = 0x10ca1ULL)
+      : oracle(oracle_in), board(board_in), population(population_in),
+        beacon(beacon_in), local_seed(local_seed_in) {}
+
+  ProbeOracle& oracle;
+  BulletinBoard& board;
+  const Population& population;
+  RandomnessBeacon& beacon;
+  /// Root seed for per-player local randomness (probe sampling in RSelect
+  /// etc.). Local randomness is private to a player, never shared.
+  std::uint64_t local_seed;
+
+  /// A player privately learning one of its own preference bits. Honest
+  /// players pay a charged probe; dishonest players peek for free (their own
+  /// outputs are irrelevant to the error metric, and the paper's adversary
+  /// is omniscient anyway).
+  bool own_probe(PlayerId p, ObjectId o) {
+    return population.is_honest(p) ? oracle.probe(p, o) : oracle.adversary_peek(p, o);
+  }
+
+  /// Local RNG stream for (player, phase).
+  Rng local_rng(PlayerId p, std::uint64_t phase_key) const {
+    return Rng(mix_keys(local_seed, p, phase_key));
+  }
+
+  /// Shared RNG stream for a phase (from the beacon; adversarial if the
+  /// beacon is dishonest).
+  Rng shared_rng(std::uint64_t phase_key) { return beacon.rng_for(phase_key); }
+
+  std::size_t n_players() const { return oracle.n_players(); }
+  std::size_t n_objects() const { return oracle.n_objects(); }
+
+  /// Unique phase key for a fresh top-level protocol invocation. Board
+  /// channels are tag-scoped, so distinct invocations sharing one env must
+  /// not reuse keys; orchestration code calls this once per invocation.
+  std::uint64_t fresh_phase() {
+    return mix_keys(0xF0E5EEDULL, phase_counter.fetch_add(1, std::memory_order_relaxed));
+  }
+
+ private:
+  std::atomic<std::uint64_t> phase_counter{1};
+};
+
+}  // namespace colscore

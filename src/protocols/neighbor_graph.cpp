@@ -1,0 +1,114 @@
+#include "src/protocols/neighbor_graph.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "src/common/assert.hpp"
+#include "src/common/thread_pool.hpp"
+
+namespace colscore {
+
+NeighborGraph::NeighborGraph(std::span<const BitVector> z, std::size_t threshold) {
+  const std::size_t n = z.size();
+  adj_.assign(n, BitVector(n));
+  // Each task owns row p (writes only adj_[p]) — safe to parallelize.
+  parallel_for(0, n, [&, threshold](std::size_t p) {
+    for (std::size_t q = 0; q < n; ++q) {
+      if (q == p) continue;
+      if (z[p].hamming(z[q]) <= threshold) adj_[p].set(q, true);
+    }
+  });
+}
+
+std::size_t Clustering::min_cluster_size() const {
+  std::size_t best = std::numeric_limits<std::size_t>::max();
+  for (const auto& c : clusters) best = std::min(best, c.size());
+  return clusters.empty() ? 0 : best;
+}
+
+std::size_t Clustering::max_cluster_size() const {
+  std::size_t best = 0;
+  for (const auto& c : clusters) best = std::max(best, c.size());
+  return best;
+}
+
+Clustering cluster_players(const NeighborGraph& graph, std::size_t min_cluster,
+                           std::span<const BitVector> z) {
+  (void)z;  // kept in the API for diagnostics/extension hooks
+  const std::size_t n = graph.size();
+  CS_ASSERT(min_cluster >= 1, "cluster_players: min_cluster >= 1");
+  Clustering out;
+  out.cluster_of.assign(n, Clustering::kNoClusterAssigned);
+
+  BitVector alive(n, true);
+  auto alive_degree = [&](PlayerId p) {
+    BitVector masked = graph.row(p);
+    masked &= alive;
+    return masked.popcount();
+  };
+
+  // Peeling pass: pick the max-alive-degree player with degree >=
+  // min_cluster - 1, absorb its alive neighbourhood.
+  for (;;) {
+    PlayerId best = kInvalidPlayer;
+    std::size_t best_deg = 0;
+    for (PlayerId p = 0; p < n; ++p) {
+      if (!alive.get(p)) continue;
+      const std::size_t deg = alive_degree(p);
+      if (deg + 1 >= min_cluster && (best == kInvalidPlayer || deg > best_deg)) {
+        best = p;
+        best_deg = deg;
+      }
+    }
+    if (best == kInvalidPlayer) break;
+
+    const auto cluster_id = static_cast<std::uint32_t>(out.clusters.size());
+    std::vector<PlayerId> members;
+    members.push_back(best);
+    BitVector hood = graph.row(best);
+    hood &= alive;
+    for (PlayerId q = 0; q < n; ++q)
+      if (hood.get(q)) members.push_back(q);
+    for (PlayerId q : members) {
+      alive.set(q, false);
+      out.cluster_of[q] = cluster_id;
+    }
+    out.clusters.push_back(std::move(members));
+  }
+
+  // Leftover pass: attach each survivor to the cluster of any removed
+  // neighbour (the paper's V'_j rule).
+  std::uint32_t orphan_pool = Clustering::kNoClusterAssigned;
+  for (PlayerId p = 0; p < n; ++p) {
+    if (!alive.get(p)) continue;
+    std::uint32_t target = Clustering::kNoClusterAssigned;
+    const BitVector& row = graph.row(p);
+    for (PlayerId q = 0; q < n; ++q) {
+      if (row.get(q) && out.cluster_of[q] != Clustering::kNoClusterAssigned) {
+        target = out.cluster_of[q];
+        break;
+      }
+    }
+    if (target == Clustering::kNoClusterAssigned) {
+      // Orphan: the diameter guess was wrong for this player (it has no
+      // n/B-sized D-neighbourhood — e.g. the random background players of
+      // the Claim 2 instance). Orphans pool into their own residual cluster
+      // rather than joining a real one: attaching them to the nearest seed
+      // would pollute that cluster's votes with uncorrelated preferences.
+      ++out.orphans;
+      if (orphan_pool == Clustering::kNoClusterAssigned) {
+        orphan_pool = static_cast<std::uint32_t>(out.clusters.size());
+        out.clusters.push_back({});
+      }
+      target = orphan_pool;
+    } else {
+      ++out.leftovers;
+    }
+    alive.set(p, false);
+    out.cluster_of[p] = target;
+    out.clusters[target].push_back(p);
+  }
+  return out;
+}
+
+}  // namespace colscore

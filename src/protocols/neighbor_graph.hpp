@@ -1,0 +1,57 @@
+// Neighbor graph and greedy clustering (Fig. 2 step 1.d; Lemmas 7-9).
+//
+// Players p, q share an edge when their estimated sample vectors z(p), z(q)
+// are within the edge threshold. Clusters are peeled greedily: repeatedly
+// take a player with >= min_cluster-1 surviving neighbours together with its
+// whole neighbourhood; leftovers then attach to the cluster of any previously
+// removed neighbour.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/bitvector.hpp"
+#include "src/common/types.hpp"
+
+namespace colscore {
+
+class NeighborGraph {
+ public:
+  /// Builds the graph over the published sample vectors: edge iff
+  /// hamming(z[p], z[q]) <= threshold. O(n^2) distance computations,
+  /// parallelized.
+  NeighborGraph(std::span<const BitVector> z, std::size_t threshold);
+
+  std::size_t size() const noexcept { return adj_.size(); }
+  bool has_edge(PlayerId p, PlayerId q) const { return adj_[p].get(q); }
+  std::size_t degree(PlayerId p) const { return adj_[p].popcount(); }
+  /// Neighbours of p as an n-bit row (bit q set iff edge pq).
+  const BitVector& row(PlayerId p) const { return adj_[p]; }
+
+ private:
+  std::vector<BitVector> adj_;
+};
+
+struct Clustering {
+  /// cluster_of[p] = cluster index, or kNoClusterAssigned if the graph was
+  /// too sparse even for the leftover-attachment pass.
+  static constexpr std::uint32_t kNoClusterAssigned = static_cast<std::uint32_t>(-1);
+  std::vector<std::uint32_t> cluster_of;
+  std::vector<std::vector<PlayerId>> clusters;
+  /// Players attached by the leftover rule (paper's V'_j pass).
+  std::size_t leftovers = 0;
+  /// Players that had no removed neighbour and were force-attached to the
+  /// nearest seed (only happens when the diameter guess was wrong).
+  std::size_t orphans = 0;
+
+  std::size_t min_cluster_size() const;
+  std::size_t max_cluster_size() const;
+};
+
+/// Greedy peeling per Fig. 2 step 1.d with cluster size floor `min_cluster`
+/// (= n/B in the paper). `z` is used only for the orphan fallback (nearest
+/// seed by sample distance).
+Clustering cluster_players(const NeighborGraph& graph, std::size_t min_cluster,
+                           std::span<const BitVector> z);
+
+}  // namespace colscore

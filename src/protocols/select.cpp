@@ -1,0 +1,160 @@
+#include "src/protocols/select.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/common/assert.hpp"
+
+namespace colscore {
+
+namespace {
+
+/// Shared implementation of the pairwise elimination tournament.
+/// `deterministic` switches the probe-position sampling stream.
+SelectOutcome run_tournament(PlayerId p, std::span<const BitVector> candidates,
+                             std::span<const ObjectId> objects, ProtocolEnv& env,
+                             std::uint64_t phase_key, std::size_t probes_per_pair,
+                             std::size_t skip_below, bool deterministic) {
+  CS_ASSERT(!candidates.empty(), "select: no candidates");
+  for (const BitVector& c : candidates)
+    CS_ASSERT(c.size() == objects.size(), "select: candidate/universe size mismatch");
+
+  SelectOutcome out;
+  const std::size_t k = candidates.size();
+  if (k == 1) return out;
+
+  std::vector<bool> alive(k, true);
+  std::vector<std::size_t> wins(k, 0);
+  // Players remember their own probe results within a protocol step, so each
+  // distinct coordinate is charged at most once.
+  std::unordered_map<std::size_t, bool> probed;
+
+  auto own_bit = [&](std::size_t coord) {
+    auto it = probed.find(coord);
+    if (it != probed.end()) return it->second;
+    const bool bit = env.own_probe(p, objects[coord]);
+    ++out.probes;
+    probed.emplace(coord, bit);
+    return bit;
+  };
+
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!alive[i]) continue;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (!alive[i]) break;
+      if (!alive[j]) continue;
+      const std::vector<std::size_t> diff = candidates[i].diff_positions(candidates[j]);
+      if (diff.empty() || diff.size() <= skip_below) continue;
+
+      Rng stream = deterministic
+                       ? Rng(mix_keys(phase_key, candidates[i].content_hash(),
+                                      candidates[j].content_hash()))
+                       : env.local_rng(p, mix_keys(phase_key, i * 1315423911ULL + j));
+
+      const std::size_t t = std::min(probes_per_pair, diff.size());
+      std::size_t agree_i = 0;
+      for (std::size_t s = 0; s < t; ++s) {
+        const std::size_t coord = diff[stream.below(diff.size())];
+        if (own_bit(coord) == candidates[i].get(coord)) ++agree_i;
+      }
+      ++out.pairs_probed;
+      const std::size_t agree_j = t - agree_i;
+      // Fig. 1: eliminate the candidate that loses a 2/3 supermajority.
+      if (3 * agree_i >= 2 * t) {
+        alive[j] = false;
+        ++wins[i];
+      } else if (3 * agree_j >= 2 * t) {
+        alive[i] = false;
+        ++wins[j];
+      } else {
+        // Close race: both survive (they are near-equidistant from v(p)).
+        ++wins[agree_i >= agree_j ? i : j];
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!alive[i]) continue;
+    if (!found || wins[i] > wins[best]) {
+      best = i;
+      found = true;
+    }
+  }
+  CS_ASSERT(found, "select: tournament eliminated every candidate");
+  out.chosen = best;
+  return out;
+}
+
+}  // namespace
+
+SelectOutcome rselect(PlayerId p, std::span<const BitVector> candidates,
+                      std::span<const ObjectId> objects, ProtocolEnv& env,
+                      std::uint64_t phase_key, std::size_t probes_per_pair) {
+  return run_tournament(p, candidates, objects, env, phase_key, probes_per_pair,
+                        /*skip_below=*/0, /*deterministic=*/false);
+}
+
+SelectOutcome select_deterministic(PlayerId p, std::span<const BitVector> candidates,
+                                   std::span<const ObjectId> objects, ProtocolEnv& env,
+                                   std::uint64_t phase_key,
+                                   std::size_t probes_per_pair,
+                                   std::size_t skip_below) {
+  return run_tournament(p, candidates, objects, env, phase_key, probes_per_pair,
+                        skip_below, /*deterministic=*/true);
+}
+
+SelectOutcome select_prefiltered(PlayerId p, std::span<const BitVector> candidates,
+                                 std::span<const ObjectId> objects, ProtocolEnv& env,
+                                 std::uint64_t phase_key, std::size_t probes_per_pair,
+                                 std::size_t prefilter_probes,
+                                 std::size_t max_finalists, std::size_t skip_below) {
+  CS_ASSERT(!candidates.empty(), "select_prefiltered: no candidates");
+  CS_ASSERT(max_finalists >= 1, "select_prefiltered: need at least one finalist");
+  if (candidates.size() <= max_finalists) {
+    return select_deterministic(p, candidates, objects, env, phase_key,
+                                probes_per_pair, skip_below);
+  }
+
+  SelectOutcome out;
+  // Shared prefilter coordinates: identical for every player so adversaries
+  // gain nothing by tailoring per-player lies to them.
+  Rng coords_rng(mix_keys(phase_key, 0x9ef1a7e4ULL));
+  const std::size_t t = std::min(prefilter_probes, objects.size());
+  std::vector<std::size_t> coords(t);
+  std::vector<bool> own_bits(t);
+  for (std::size_t s = 0; s < t; ++s) {
+    coords[s] = coords_rng.below(objects.size());
+    own_bits[s] = env.own_probe(p, objects[coords[s]]);
+    ++out.probes;
+  }
+
+  std::vector<std::pair<std::size_t, std::size_t>> scored;  // (disagreements, idx)
+  scored.reserve(candidates.size());
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    std::size_t miss = 0;
+    for (std::size_t s = 0; s < t; ++s)
+      if (candidates[i].get(coords[s]) != own_bits[s]) ++miss;
+    scored.emplace_back(miss, i);
+  }
+  std::stable_sort(scored.begin(), scored.end());
+
+  std::vector<BitVector> finalists;
+  std::vector<std::size_t> finalist_ids;
+  finalists.reserve(max_finalists);
+  for (std::size_t i = 0; i < max_finalists; ++i) {
+    finalists.push_back(candidates[scored[i].second]);
+    finalist_ids.push_back(scored[i].second);
+  }
+
+  SelectOutcome inner = select_deterministic(p, finalists, objects, env,
+                                             mix_keys(phase_key, 0xf1a1ULL),
+                                             probes_per_pair, skip_below);
+  out.chosen = finalist_ids[inner.chosen];
+  out.probes += inner.probes;
+  out.pairs_probed = inner.pairs_probed;
+  return out;
+}
+
+}  // namespace colscore

@@ -1,0 +1,127 @@
+#include "src/protocols/small_radius.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/assert.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/protocols/select.hpp"
+
+namespace colscore {
+
+namespace {
+
+std::size_t subset_count(const SmallRadiusParams& params, std::size_t n_objects) {
+  const double raw = params.subset_scale *
+                     std::pow(std::max<double>(1.0, static_cast<double>(params.diameter)),
+                              params.subset_exponent);
+  const auto s = static_cast<std::size_t>(std::ceil(raw));
+  return std::clamp<std::size_t>(s, 1, n_objects);
+}
+
+}  // namespace
+
+SmallRadiusResult small_radius(std::span<const PlayerId> players,
+                               std::span<const ObjectId> objects,
+                               const SmallRadiusParams& params, ProtocolEnv& env,
+                               std::uint64_t phase_key) {
+  CS_ASSERT(params.budget >= 1, "small_radius: budget >= 1 required");
+  SmallRadiusResult result;
+  result.outputs.assign(players.size(), BitVector(objects.size()));
+  if (players.empty() || objects.empty()) return result;
+
+  const std::size_t s = subset_count(params, objects.size());
+  result.stats.subsets = s;
+
+  ZeroRadiusParams zr = params.zr;
+  zr.budget = 5 * params.budget;
+
+  // Support threshold for U_i: vectors output by >= n/(divisor*B) players.
+  const auto support_threshold = static_cast<std::size_t>(std::max(
+      1.0, std::floor(static_cast<double>(env.n_players()) /
+                      (params.support_divisor * static_cast<double>(params.budget)))));
+  const std::size_t max_candidates = std::max<std::size_t>(
+      2, static_cast<std::size_t>(params.support_divisor *
+                                  static_cast<double>(params.budget)));
+
+  // candidates[r][i] = candidate vector of players[i] from repeat r.
+  std::vector<std::vector<BitVector>> candidates(
+      params.repeats, std::vector<BitVector>(players.size()));
+
+  for (std::size_t rep = 0; rep < params.repeats; ++rep) {
+    const std::uint64_t rep_key = mix_keys(phase_key, 0x5e9ULL, rep);
+
+    // Step 1: shared random partition of objects into s subsets.
+    Rng shared = env.shared_rng(mix_keys(rep_key, 0x9a97ULL));
+    std::vector<std::vector<std::size_t>> subset_coords(s);  // coordinate indices
+    for (std::size_t j = 0; j < objects.size(); ++j)
+      subset_coords[shared.below(s)].push_back(j);
+
+    for (auto& row : candidates[rep]) row = BitVector(objects.size());
+
+    // Steps 2-3 per subset: ZeroRadius, support-vote U_i, per-player Select.
+    for (std::size_t sub = 0; sub < s; ++sub) {
+      const auto& coords = subset_coords[sub];
+      if (coords.empty()) continue;
+      std::vector<ObjectId> sub_objects(coords.size());
+      for (std::size_t j = 0; j < coords.size(); ++j) sub_objects[j] = objects[coords[j]];
+
+      const std::uint64_t sub_key = mix_keys(rep_key, 0x50b5ULL, sub);
+      ZeroRadiusResult zr_out = zero_radius(players, sub_objects, zr, env, sub_key);
+      result.stats.zr.merge(zr_out.stats);
+
+      // Publish outputs so support can be counted on the board (dishonest
+      // players may publish garbage here).
+      const std::uint64_t channel = mix_keys(sub_key, 0xbea0ULL);
+      const ReportContext rctx{Phase::kSmallRadius, channel};
+      for (std::size_t i = 0; i < players.size(); ++i) {
+        Rng prng = env.local_rng(players[i], channel);
+        env.board.post_vector(channel, players[i],
+                              env.population.publication(players[i], zr_out.outputs[i],
+                                                         sub_objects, rctx, prng));
+      }
+      auto supported = env.board.vectors_by_support(channel);
+      std::vector<BitVector> ui;
+      for (auto& sv : supported) {
+        if (sv.support >= support_threshold) ui.push_back(std::move(sv.vector));
+        if (ui.size() >= max_candidates) break;
+      }
+      if (ui.empty()) {
+        // Preferences are too fragmented for the support filter (assumption
+        // violated); keep the most popular vectors so Select can still run.
+        ++result.stats.candidate_overflow;
+        for (auto& sv : supported) {
+          ui.push_back(std::move(sv.vector));
+          if (ui.size() >= max_candidates) break;
+        }
+      }
+
+      // Step 3: every player selects its vector for this subset.
+      parallel_for(0, players.size(), [&](std::size_t i) {
+        const SelectOutcome sel = select_prefiltered(
+            players[i], ui, sub_objects, env, mix_keys(sub_key, players[i]),
+            params.probes_per_pair, params.prefilter_probes, params.max_finalists,
+            /*skip_below=*/0);
+        // Write the chosen subset vector into the repeat's full candidate.
+        for (std::size_t j = 0; j < coords.size(); ++j)
+          candidates[rep][i].set(coords[j], ui[sel.chosen].get(j));
+      });
+    }
+  }
+
+  // Final step: Select among the per-repeat candidates.
+  parallel_for(0, players.size(), [&](std::size_t i) {
+    std::vector<BitVector> cands;
+    cands.reserve(params.repeats);
+    for (std::size_t rep = 0; rep < params.repeats; ++rep)
+      cands.push_back(candidates[rep][i]);
+    const SelectOutcome sel = select_deterministic(
+        players[i], cands, objects, env, mix_keys(phase_key, 0xf17a1ULL, players[i]),
+        params.probes_per_pair, /*skip_below=*/params.diameter);
+    result.outputs[i] = std::move(cands[sel.chosen]);
+  });
+
+  return result;
+}
+
+}  // namespace colscore

@@ -1,0 +1,61 @@
+#include "src/protocols/work_share.hpp"
+
+#include <atomic>
+
+#include "src/common/assert.hpp"
+#include "src/common/thread_pool.hpp"
+
+namespace colscore {
+
+BitVector cluster_votes(std::span<const PlayerId> members, ProtocolEnv& env,
+                        std::uint64_t phase_key, const WorkShareParams& params,
+                        WorkShareStats* stats) {
+  CS_ASSERT(!members.empty(), "cluster_votes: empty cluster");
+  const std::size_t n_objects = env.n_objects();
+  // Byte-per-object staging: BitVector::set on neighbouring bits would race
+  // across parallel tasks (word-level read-modify-write).
+  std::vector<std::uint8_t> verdicts(n_objects, 0);
+
+  std::atomic<std::uint64_t> reports{0};
+  std::atomic<std::uint64_t> ties{0};
+
+  parallel_for(0, n_objects, [&](std::size_t o) {
+    const auto object = static_cast<ObjectId>(o);
+    // Assignment of voters comes from the shared randomness: with an honest
+    // beacon the adversary cannot aim its members at chosen objects.
+    Rng assign = env.shared_rng(mix_keys(phase_key, 0xa551ULL, object));
+    const ReportContext ctx{Phase::kVote, phase_key};
+    std::size_t ones = 0;
+    for (std::size_t v = 0; v < params.votes_per_object; ++v) {
+      const PlayerId voter = members[assign.below(members.size())];
+      Rng vote_rng = env.local_rng(voter, mix_keys(phase_key, object, v));
+      const bool report = env.population.report_of(voter, object, env.oracle, ctx,
+                                                   vote_rng);
+      env.board.post_report(phase_key, voter, object, report);
+      if (report) ++ones;
+    }
+    reports.fetch_add(params.votes_per_object, std::memory_order_relaxed);
+    const std::size_t zeros = params.votes_per_object - ones;
+    bool verdict;
+    if (ones > zeros) {
+      verdict = true;
+    } else if (zeros > ones) {
+      verdict = false;
+    } else {
+      verdict = (assign() & 1) != 0;  // shared tie-break coin
+      ties.fetch_add(1, std::memory_order_relaxed);
+    }
+    verdicts[o] = verdict ? 1 : 0;
+  });
+
+  BitVector prediction(n_objects);
+  for (std::size_t o = 0; o < n_objects; ++o) prediction.set(o, verdicts[o] != 0);
+
+  if (stats != nullptr) {
+    stats->reports += reports.load();
+    stats->ties += ties.load();
+  }
+  return prediction;
+}
+
+}  // namespace colscore

@@ -1,0 +1,34 @@
+// Work sharing (Fig. 2 step 1.e; Lemmas 10, 12, 13).
+//
+// For each cluster and each object, Θ(log n) cluster members chosen by the
+// shared randomness probe the object and post their reports; the cluster's
+// prediction is the majority vote. Redundancy + honest domination inside
+// each cluster is what defeats the dishonest voters (Lemma 13).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "src/common/bitvector.hpp"
+#include "src/protocols/env.hpp"
+
+namespace colscore {
+
+struct WorkShareParams {
+  /// Votes per object (Θ(log n)).
+  std::size_t votes_per_object = 8;
+};
+
+struct WorkShareStats {
+  std::uint64_t reports = 0;     // total reports posted
+  std::uint64_t ties = 0;        // objects decided by the tie-break coin
+};
+
+/// Runs the voting phase for one cluster over the full object universe and
+/// returns the cluster's predicted preference vector. Reports go through the
+/// bulletin board channel `phase_key` so they are publicly auditable.
+BitVector cluster_votes(std::span<const PlayerId> members, ProtocolEnv& env,
+                        std::uint64_t phase_key, const WorkShareParams& params,
+                        WorkShareStats* stats = nullptr);
+
+}  // namespace colscore

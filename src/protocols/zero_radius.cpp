@@ -1,0 +1,264 @@
+#include "src/protocols/zero_radius.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "src/common/assert.hpp"
+#include "src/common/thread_pool.hpp"
+
+namespace colscore {
+
+void ZeroRadiusStats::merge(const ZeroRadiusStats& other) {
+  base_case_players += other.base_case_players;
+  fallbacks += other.fallbacks;
+  empty_support += other.empty_support;
+  repairs += other.repairs;
+  max_depth = std::max(max_depth, other.max_depth);
+}
+
+namespace {
+
+std::size_t log2_ceil(std::size_t n) {
+  std::size_t l = 0;
+  while ((1ULL << l) < n) ++l;
+  return std::max<std::size_t>(l, 1);
+}
+
+struct Ctx {
+  const ZeroRadiusParams& params;
+  ProtocolEnv& env;
+  std::size_t base_threshold;
+  std::size_t elim_cap;
+  std::size_t verify_probes;
+};
+
+/// Splits `items` into two non-empty halves with the shared coin. If a side
+/// comes out empty (only possible for tiny inputs), re-draws.
+template <typename T>
+void shared_partition(std::span<const T> items, Rng& shared, std::vector<T>& left,
+                      std::vector<T>& right) {
+  left.clear();
+  right.clear();
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    for (const T& item : items) (shared() & 1 ? left : right).push_back(item);
+    if (items.size() < 2 || (!left.empty() && !right.empty())) return;
+    left.clear();
+    right.clear();
+  }
+  // Deterministic fallback: alternate.
+  for (std::size_t i = 0; i < items.size(); ++i)
+    (i % 2 == 0 ? left : right).push_back(items[i]);
+}
+
+/// One player adopts a vector over `objects` from the published candidates.
+/// `verify_key` seeds the deterministic verification coordinates.
+BitVector adopt(PlayerId p, std::span<const ObjectId> objects,
+                const std::vector<BulletinBoard::SupportedVector>& candidates,
+                Ctx& ctx, std::uint64_t verify_key, ZeroRadiusStats& stats) {
+  if (candidates.empty()) {
+    // Nothing published at all (degenerate); probe everything we can afford.
+    ++stats.fallbacks;
+    BitVector own(objects.size());
+    const std::size_t limit = std::min(objects.size(), ctx.elim_cap);
+    for (std::size_t i = 0; i < limit; ++i)
+      own.set(i, ctx.env.own_probe(p, objects[i]));
+    return own;
+  }
+
+  std::vector<std::size_t> alive(candidates.size());
+  for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = i;
+
+  std::unordered_map<std::size_t, bool> probed;  // coord -> own truth
+  std::size_t probes_used = 0;
+  bool fell_back = false;
+
+  while (alive.size() > 1) {
+    // Deduplicate identical leaders to avoid probing ties.
+    const BitVector& front = candidates[alive[0]].vector;
+    const std::vector<std::size_t> diff =
+        front.diff_positions(candidates[alive[1]].vector);
+    if (diff.empty()) {
+      alive.erase(alive.begin() + 1);
+      continue;
+    }
+    if (probes_used >= ctx.elim_cap) {
+      fell_back = true;
+      break;
+    }
+    const std::size_t coord = diff.front();
+    bool bit;
+    if (auto it = probed.find(coord); it != probed.end()) {
+      bit = it->second;
+    } else {
+      bit = ctx.env.own_probe(p, objects[coord]);
+      ++probes_used;
+      probed.emplace(coord, bit);
+    }
+    std::vector<std::size_t> next;
+    next.reserve(alive.size());
+    for (std::size_t idx : alive)
+      if (candidates[idx].vector.get(coord) == bit) next.push_back(idx);
+    if (next.empty()) {
+      // Our true vector was not among the candidates (noisy invocation from
+      // SmallRadius). Keep the highest-support candidate and patch below.
+      fell_back = true;
+      break;
+    }
+    alive = std::move(next);
+  }
+
+  if (fell_back) ++stats.fallbacks;
+  BitVector result = candidates[alive.empty() ? 0 : alive.front()].vector;
+
+  // Verification-repair: sample a few coordinates and patch mismatches. This
+  // mops up the rare deep-recursion failure where the player's exact vector
+  // missed the support filter and the survivor is merely the nearest cluster.
+  // The coordinates are SHARED across learners (derived from the channel, not
+  // the player): identical twins must patch identical coordinates, otherwise
+  // their published vectors fragment and upstream support voting collapses.
+  Rng verify(mix_keys(verify_key, 0x7e81f1ULL));
+  for (std::size_t s = 0; s < ctx.verify_probes && s < objects.size(); ++s) {
+    const std::size_t coord = verify.below(objects.size());
+    if (probed.contains(coord)) continue;
+    const bool bit = ctx.env.own_probe(p, objects[coord]);
+    probed.emplace(coord, bit);
+    if (result.get(coord) != bit) ++stats.repairs;
+  }
+
+  // Patch in everything this player actually observed.
+  for (const auto& [coord, bit] : probed) result.set(coord, bit);
+  return result;
+}
+
+/// Publication + adoption for one direction of the merge: `learners` adopt
+/// vectors over `objects` computed by `publishers` (whose outputs are given).
+void cross_adopt(std::span<const PlayerId> learners,
+                 std::span<const PlayerId> publishers,
+                 std::span<const ObjectId> objects,
+                 const std::vector<BitVector>& publisher_outputs,
+                 std::vector<BitVector>& learner_outputs, Ctx& ctx,
+                 std::uint64_t channel, ZeroRadiusStats& stats) {
+  const ReportContext rctx{Phase::kZeroRadius, channel};
+  // Publications are serial so board ordering (and thus candidate order) is
+  // deterministic; adoption below is the expensive part and runs parallel.
+  for (std::size_t i = 0; i < publishers.size(); ++i) {
+    const PlayerId q = publishers[i];
+    Rng prng = ctx.env.local_rng(q, channel);
+    BitVector published = ctx.env.population.publication(q, publisher_outputs[i],
+                                                         objects, rctx, prng);
+    ctx.env.board.post_vector(channel, q, std::move(published));
+  }
+
+  auto supported = ctx.env.board.vectors_by_support(channel);
+  const auto threshold = static_cast<std::size_t>(
+      std::max(2.0, std::floor(static_cast<double>(publishers.size()) /
+                               (ctx.params.support_divisor *
+                                static_cast<double>(ctx.params.budget)))));
+  std::vector<BulletinBoard::SupportedVector> filtered;
+  for (auto& sv : supported)
+    if (sv.support >= threshold) filtered.push_back(std::move(sv));
+  if (filtered.empty() && !supported.empty()) {
+    ++stats.empty_support;
+    // Keep the most-supported few so adoption can still proceed.
+    const std::size_t keep = std::min<std::size_t>(supported.size(),
+                                                   2 * ctx.params.budget);
+    filtered.assign(supported.begin(), supported.begin() + static_cast<long>(keep));
+  }
+
+  std::vector<ZeroRadiusStats> local(learners.size());
+  learner_outputs.assign(learners.size(), BitVector());
+  parallel_for(0, learners.size(), [&](std::size_t i) {
+    learner_outputs[i] =
+        adopt(learners[i], objects, filtered, ctx, channel, local[i]);
+  });
+  for (const auto& s : local) stats.merge(s);
+}
+
+ZeroRadiusResult solve(std::span<const PlayerId> players,
+                       std::span<const ObjectId> objects, Ctx& ctx,
+                       std::uint64_t phase_key, std::size_t depth) {
+  ZeroRadiusResult result;
+  result.stats.max_depth = depth;
+  result.outputs.assign(players.size(), BitVector(objects.size()));
+  if (players.empty() || objects.empty()) return result;
+
+  if (std::min(players.size(), objects.size()) <= ctx.base_threshold) {
+    // Base case: every player probes every object in O.
+    result.stats.base_case_players = players.size();
+    parallel_for(0, players.size(), [&](std::size_t i) {
+      BitVector& row = result.outputs[i];
+      for (std::size_t j = 0; j < objects.size(); ++j)
+        row.set(j, ctx.env.own_probe(players[i], objects[j]));
+    });
+    return result;
+  }
+
+  // Shared-random halving of both universes (same partition for everyone).
+  Rng shared = ctx.env.shared_rng(mix_keys(phase_key, 0xA11, depth));
+  std::vector<PlayerId> p_left, p_right;
+  std::vector<ObjectId> o_left, o_right;
+  shared_partition<PlayerId>(players, shared, p_left, p_right);
+  shared_partition<ObjectId>(objects, shared, o_left, o_right);
+
+  ZeroRadiusResult left =
+      solve(p_left, o_left, ctx, mix_keys(phase_key, 1), depth + 1);
+  ZeroRadiusResult right =
+      solve(p_right, o_right, ctx, mix_keys(phase_key, 2), depth + 1);
+  result.stats.merge(left.stats);
+  result.stats.merge(right.stats);
+
+  // Cross adoption: left players adopt o_right vectors published by right
+  // players, and vice versa.
+  std::vector<BitVector> left_adopted, right_adopted;
+  cross_adopt(p_left, p_right, o_right, right.outputs, left_adopted, ctx,
+              mix_keys(phase_key, 0xC0, 1), result.stats);
+  cross_adopt(p_right, p_left, o_left, left.outputs, right_adopted, ctx,
+              mix_keys(phase_key, 0xC0, 2), result.stats);
+
+  // Reassemble full vectors in the original `objects` coordinate order.
+  std::unordered_map<ObjectId, std::size_t> coord_of;
+  coord_of.reserve(objects.size());
+  for (std::size_t j = 0; j < objects.size(); ++j) coord_of.emplace(objects[j], j);
+  std::unordered_map<PlayerId, std::size_t> row_of;
+  row_of.reserve(players.size());
+  for (std::size_t i = 0; i < players.size(); ++i) row_of.emplace(players[i], i);
+
+  auto emit = [&](std::span<const PlayerId> group, const std::vector<BitVector>& own,
+                  std::span<const ObjectId> own_objs,
+                  const std::vector<BitVector>& adopted,
+                  std::span<const ObjectId> adopted_objs) {
+    parallel_for(0, group.size(), [&](std::size_t i) {
+      BitVector& row = result.outputs[row_of.at(group[i])];
+      for (std::size_t j = 0; j < own_objs.size(); ++j)
+        row.set(coord_of.at(own_objs[j]), own[i].get(j));
+      for (std::size_t j = 0; j < adopted_objs.size(); ++j)
+        row.set(coord_of.at(adopted_objs[j]), adopted[i].get(j));
+    });
+  };
+  emit(p_left, left.outputs, o_left, left_adopted, o_right);
+  emit(p_right, right.outputs, o_right, right_adopted, o_left);
+  return result;
+}
+
+}  // namespace
+
+ZeroRadiusResult zero_radius(std::span<const PlayerId> players,
+                             std::span<const ObjectId> objects,
+                             const ZeroRadiusParams& params, ProtocolEnv& env,
+                             std::uint64_t phase_key) {
+  CS_ASSERT(params.budget >= 1, "zero_radius: budget must be >= 1");
+  const std::size_t n_total = env.n_players();
+  Ctx ctx{params, env,
+          /*base_threshold=*/static_cast<std::size_t>(
+              params.base_factor * static_cast<double>(params.budget) *
+              static_cast<double>(log2_ceil(n_total))),
+          /*elim_cap=*/params.elim_cap != 0
+              ? params.elim_cap
+              : 4 * params.budget * log2_ceil(n_total) + 4,
+          /*verify_probes=*/params.verify_probes != 0 ? params.verify_probes
+                                                      : 2 * log2_ceil(n_total)};
+  return solve(players, objects, ctx, phase_key, 0);
+}
+
+}  // namespace colscore

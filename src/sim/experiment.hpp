@@ -1,0 +1,98 @@
+// End-to-end experiment runner: one call builds the world, corrupts the
+// population, runs the chosen algorithm, and measures error/probe metrics.
+// Benches, examples and integration tests all go through this entry point so
+// every reported number is produced the same way.
+#pragma once
+
+#include <string>
+
+#include "src/core/calculate_preferences.hpp"
+#include "src/metrics/error.hpp"
+#include "src/metrics/optimal.hpp"
+#include "src/model/generators.hpp"
+
+namespace colscore {
+
+enum class WorkloadKind {
+  kPlantedClusters,
+  kIdenticalClusters,
+  kLowerBound,
+  kChained,
+  kUniformRandom,
+  kTwoBlocks,
+};
+
+enum class AdversaryKind {
+  kNone,
+  kRandomLiar,
+  kInverter,
+  kConstantOne,
+  kTargetedBias,
+  kHijacker,
+  kSleeper,
+  kStrangeColluder,  // Lemma 13's optimal voting attack
+};
+
+enum class AlgorithmKind {
+  kCalculatePreferences,  // Fig. 2, honest shared randomness (§6)
+  kRobust,                // §7 wrapper with leader election
+  kProbeAll,
+  kRandomGuess,
+  kOracleClusters,
+  kSampleAndShare,  // Alon et al. [2,3] reconstruction
+};
+
+struct ExperimentConfig {
+  std::size_t n = 256;
+  std::size_t budget = 8;
+  std::uint64_t seed = 1;
+
+  WorkloadKind workload = WorkloadKind::kPlantedClusters;
+  /// Planted intra-cluster diameter (or chain step for kChained).
+  std::size_t diameter = 16;
+  /// 0 = derive: budget clusters of size ~n/budget (kChained: 2*budget links).
+  std::size_t n_clusters = 0;
+  bool zipf_sizes = false;
+
+  AdversaryKind adversary = AdversaryKind::kNone;
+  /// Number of dishonest players (paper tolerance: n/(3B)).
+  std::size_t dishonest = 0;
+
+  AlgorithmKind algorithm = AlgorithmKind::kCalculatePreferences;
+  Params params;                 // derived from `budget` unless customized
+  std::size_t robust_outer_reps = 3;
+  /// Compute the O(n^2) empirical OPT radius (skip for large sweeps).
+  bool compute_opt = true;
+
+  static std::string workload_name(WorkloadKind w);
+  static std::string adversary_name(AdversaryKind a);
+  static std::string algorithm_name(AlgorithmKind a);
+};
+
+struct ExperimentOutcome {
+  ErrorStats error;          // over honest players
+  OptEstimate opt;           // empirical Definition-1 bracket (if computed)
+  double approx_ratio = 0.0; // worst error / opt radius (if computed)
+  std::uint64_t max_probes = 0;
+  std::uint64_t total_probes = 0;
+  std::uint64_t honest_max_probes = 0;
+  std::size_t honest_players = 0;
+  /// Bulletin-board traffic (§8 communication-cost accounting).
+  std::uint64_t board_reports = 0;
+  std::uint64_t board_vectors = 0;
+  std::size_t planted_diameter = 0;
+  std::size_t honest_leader_reps = 0;  // robust runs only
+  double wall_seconds = 0.0;
+  std::vector<IterationInfo> iterations;
+};
+
+/// Builds the world described by `config` (deterministic in config.seed).
+World build_world(const ExperimentConfig& config);
+
+/// Installs the configured adversaries into a fresh population.
+Population build_population(const ExperimentConfig& config, const World& world);
+
+/// Runs the full experiment.
+ExperimentOutcome run_experiment(const ExperimentConfig& config);
+
+}  // namespace colscore

@@ -1,0 +1,154 @@
+#include "src/baseline/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/core/calculate_preferences.hpp"
+#include "src/metrics/error.hpp"
+#include "tests/test_util.hpp"
+
+namespace colscore {
+namespace {
+
+using testutil::Harness;
+
+std::size_t max_honest_error(const Harness& h, const ProtocolResult& r) {
+  const auto honest = h.population.honest_players();
+  const auto errors = hamming_errors(h.world.matrix, r.outputs, honest);
+  return errors.empty() ? 0 : *std::max_element(errors.begin(), errors.end());
+}
+
+TEST(ProbeAll, ZeroErrorFullCost) {
+  Harness h(planted_clusters(64, 64, 2, 8, Rng(1)));
+  const ProtocolResult r = probe_all(h.env);
+  EXPECT_EQ(max_honest_error(h, r), 0u);
+  EXPECT_EQ(r.max_probes, 64u);
+  EXPECT_EQ(r.total_probes, 64u * 64u);
+}
+
+TEST(RandomGuess, ZeroCostHalfError) {
+  Harness h(planted_clusters(64, 512, 2, 8, Rng(2)));
+  const ProtocolResult r = random_guess(h.env, 99);
+  EXPECT_EQ(r.total_probes, 0u);
+  const auto honest = h.population.honest_players();
+  const auto errors = hamming_errors(h.world.matrix, r.outputs, honest);
+  double mean = 0;
+  for (auto e : errors) mean += static_cast<double>(e);
+  mean /= static_cast<double>(errors.size());
+  EXPECT_NEAR(mean, 256.0, 40.0);
+}
+
+TEST(OracleClusters, NearZeroErrorOnIdentical) {
+  Harness h(identical_clusters(64, 64, 4, Rng(3)));
+  const ProtocolResult r = oracle_clusters(h.env, h.world);
+  EXPECT_EQ(max_honest_error(h, r), 0u);
+  // Work is shared: nobody probes anywhere near everything.
+  EXPECT_LT(r.max_probes, 64u);
+}
+
+TEST(OracleClusters, PlantedErrorTracksDiameter) {
+  const std::size_t D = 10;
+  Harness h(planted_clusters(80, 160, 4, D, Rng(4)));
+  const ProtocolResult r = oracle_clusters(h.env, h.world);
+  EXPECT_LE(max_honest_error(h, r), 3 * D);
+}
+
+TEST(OracleClusters, BackgroundPlayersProbeAlone) {
+  Harness h(lower_bound_instance(64, 8, 8, Rng(5)));
+  const ProtocolResult r = oracle_clusters(h.env, h.world);
+  // Background (cluster-less) players probe everything -> zero error.
+  for (PlayerId p = 20; p < 64; ++p)
+    EXPECT_EQ(h.world.matrix.row(p).hamming(r.outputs[p]), 0u);
+}
+
+TEST(SampleAndShare, RecoversCleanClusters) {
+  Harness h(identical_clusters(128, 128, 4, Rng(6)));
+  SampleShareParams params;
+  params.budget = 4;
+  const SampleShareResult r = sample_and_share(h.env, params);
+  EXPECT_LE(max_honest_error(h, r.result), 8u);
+}
+
+TEST(SampleAndShare, ProbeBillIsQuadraticInBudget) {
+  Harness h(identical_clusters(256, 256, 4, Rng(7)));
+  SampleShareParams small;
+  small.budget = 2;
+  const auto r_small = sample_and_share(h.env, small);
+
+  Harness h2(identical_clusters(256, 256, 4, Rng(7)));
+  SampleShareParams big;
+  big.budget = 8;  // 4x budget -> ~16x sample cost
+  const auto r_big = sample_and_share(h2.env, big);
+
+  EXPECT_GT(r_big.result.max_probes, 3 * r_small.result.max_probes);
+}
+
+TEST(SampleAndShare, StarNeighborhoodPaysOnChains) {
+  // The headline gap (T1): on chained preferences the baseline's star
+  // neighbourhood spans many links (error ~ B * step) while the true optimum
+  // is one link (step). 16 links of 16 players; n/B = 64 players per
+  // neighbourhood => spans ~4 links.
+  const std::size_t n = 256, B = 4, step = 12;
+  Harness h(chained_clusters(n, n, 16, step, Rng(8)));
+  SampleShareParams params;
+  params.budget = B;
+  const SampleShareResult r = sample_and_share(h.env, params);
+  const std::size_t err = max_honest_error(h, r.result);
+  // Error must exceed the single-link optimum by a factor ~ links spanned.
+  EXPECT_GT(err, step);
+}
+
+TEST(SampleAndShare, HijackersHurtBaselineMoreThanRobustProtocol) {
+  // The Byzantine contrast at the paper's tolerance level: n/(3B) hijackers
+  // planted inside the victim's own twin set. The baseline's star
+  // neighbourhood has no redundancy-with-domination defense; the Fig. 2
+  // protocol does.
+  const std::size_t n = 128, B = 4, byz = n / (3 * B);  // 10 hijackers
+  const auto corrupt = [&](Harness& h) {
+    for (PlayerId p = 1; p <= byz; ++p)  // the victim's nearest twins
+      h.population.set_behavior(
+          p, std::make_unique<ClusterHijacker>(h.world.matrix, 0));
+  };
+
+  Harness baseline_h(identical_clusters(n, n, 4, Rng(9)));
+  corrupt(baseline_h);
+  SampleShareParams params;
+  params.budget = B;
+  const SampleShareResult base = sample_and_share(baseline_h.env, params);
+  const std::size_t baseline_victim_error =
+      baseline_h.world.matrix.row(0).hamming(base.result.outputs[0]);
+
+  Harness ours_h(identical_clusters(n, n, 4, Rng(9)));
+  corrupt(ours_h);
+  Params ours_params = Params::practical(B);
+  const ProtocolResult ours =
+      calculate_preferences(ours_h.env, ours_params, 0x0b5ULL);
+  const std::size_t ours_victim_error =
+      ours_h.world.matrix.row(0).hamming(ours.outputs[0]);
+
+  EXPECT_GT(baseline_victim_error, 0u);
+  EXPECT_LE(ours_victim_error, 5u);
+  EXPECT_GT(baseline_victim_error, 2 * ours_victim_error);
+}
+
+TEST(SampleAndShare, CoverageAccounting) {
+  Harness h(identical_clusters(64, 64, 2, Rng(11)));
+  SampleShareParams params;
+  params.budget = 2;
+  const SampleShareResult r = sample_and_share(h.env, params);
+  // group 32 players x slice 12 reports over 64 objects: expect coverage.
+  EXPECT_LT(r.uncovered_objects, 64u * 64u / 10);
+}
+
+TEST(Baselines, DeterministicForSameSeeds) {
+  SampleShareParams params;
+  params.budget = 4;
+  Harness h1(planted_clusters(64, 64, 4, 4, Rng(12)));
+  Harness h2(planted_clusters(64, 64, 4, 4, Rng(12)));
+  const auto a = sample_and_share(h1.env, params);
+  const auto b = sample_and_share(h2.env, params);
+  for (PlayerId p = 0; p < 64; ++p)
+    EXPECT_EQ(a.result.outputs[p], b.result.outputs[p]);
+}
+
+}  // namespace
+}  // namespace colscore

@@ -1,0 +1,177 @@
+#include "src/model/behavior.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/model/generators.hpp"
+#include "src/model/population.hpp"
+
+namespace colscore {
+namespace {
+
+ReportContext ctx(Phase phase) { return ReportContext{phase, 1}; }
+
+TEST(HonestBehavior, ReportsTruthAndPublishesHonestly) {
+  HonestBehavior h;
+  Rng rng(1);
+  EXPECT_TRUE(h.honest());
+  EXPECT_TRUE(h.report(0, 0, true, ctx(Phase::kVote), rng));
+  EXPECT_FALSE(h.report(0, 0, false, ctx(Phase::kVote), rng));
+  BitVector v(8);
+  v.set(2, true);
+  EXPECT_EQ(h.publish(0, v, {}, ctx(Phase::kVote), rng), v);
+}
+
+TEST(RandomLiar, IgnoresTruth) {
+  RandomLiar liar(1.0);
+  Rng rng(2);
+  int ones = 0;
+  for (int i = 0; i < 1000; ++i)
+    if (liar.report(0, 0, false, ctx(Phase::kVote), rng)) ++ones;
+  EXPECT_GT(ones, 400);
+  EXPECT_LT(ones, 600);
+  EXPECT_FALSE(liar.honest());
+}
+
+TEST(RandomLiar, PartialLieRate) {
+  RandomLiar liar(0.0);  // never lies
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i)
+    EXPECT_TRUE(liar.report(0, 0, true, ctx(Phase::kVote), rng));
+}
+
+TEST(Inverter, AlwaysOpposite) {
+  Inverter inv;
+  Rng rng(4);
+  EXPECT_FALSE(inv.report(0, 0, true, ctx(Phase::kVote), rng));
+  EXPECT_TRUE(inv.report(0, 0, false, ctx(Phase::kVote), rng));
+  BitVector v(4);
+  v.set(0, true);
+  const BitVector pub = inv.publish(0, v, {}, ctx(Phase::kVote), rng);
+  EXPECT_FALSE(pub.get(0));
+  EXPECT_TRUE(pub.get(1));
+}
+
+TEST(ConstantReporter, StuffsBallots) {
+  ConstantReporter yes(true);
+  Rng rng(5);
+  EXPECT_TRUE(yes.report(0, 0, false, ctx(Phase::kVote), rng));
+  BitVector v(6);
+  EXPECT_EQ(yes.publish(0, v, {}, ctx(Phase::kVote), rng).popcount(), 6u);
+
+  ConstantReporter no(false);
+  EXPECT_FALSE(no.report(0, 0, true, ctx(Phase::kVote), rng));
+}
+
+TEST(TargetedBias, OnlyLiesOnTargets) {
+  TargetedBias bias({3, 5}, true);
+  Rng rng(6);
+  EXPECT_TRUE(bias.report(0, 3, false, ctx(Phase::kVote), rng));
+  EXPECT_TRUE(bias.report(0, 5, false, ctx(Phase::kVote), rng));
+  EXPECT_FALSE(bias.report(0, 4, false, ctx(Phase::kVote), rng));
+  EXPECT_TRUE(bias.report(0, 4, true, ctx(Phase::kVote), rng));
+}
+
+TEST(TargetedBias, PublishRespectsSubsetMapping) {
+  TargetedBias bias({10}, true);
+  Rng rng(7);
+  BitVector honest(3);  // over objects {9, 10, 11}
+  std::vector<ObjectId> objects{9, 10, 11};
+  const BitVector pub = bias.publish(0, honest, objects, ctx(Phase::kVote), rng);
+  EXPECT_FALSE(pub.get(0));
+  EXPECT_TRUE(pub.get(1));  // object 10 promoted
+  EXPECT_FALSE(pub.get(2));
+}
+
+TEST(ClusterHijacker, MimicsVictimThenBetrays) {
+  const World w = identical_clusters(8, 16, 2, Rng(8));
+  ClusterHijacker hijacker(w.matrix, /*victim=*/0);
+  Rng rng(9);
+  for (ObjectId o = 0; o < 16; ++o) {
+    const bool victim_truth = w.matrix.preference(0, o);
+    // During clustering phases: mimic.
+    EXPECT_EQ(hijacker.report(5, o, !victim_truth, ctx(Phase::kSample), rng),
+              victim_truth);
+    EXPECT_EQ(hijacker.report(5, o, !victim_truth, ctx(Phase::kClusterGraph), rng),
+              victim_truth);
+    // During the vote: betray.
+    EXPECT_EQ(hijacker.report(5, o, victim_truth, ctx(Phase::kVote), rng),
+              !victim_truth);
+  }
+}
+
+TEST(ClusterHijacker, PublishMimicsOverSubsets) {
+  const World w = identical_clusters(8, 16, 2, Rng(10));
+  ClusterHijacker hijacker(w.matrix, 0);
+  Rng rng(11);
+  std::vector<ObjectId> subset{1, 7, 13};
+  BitVector junk(3);
+  const BitVector pub = hijacker.publish(5, junk, subset, ctx(Phase::kSample), rng);
+  for (std::size_t i = 0; i < subset.size(); ++i)
+    EXPECT_EQ(pub.get(i), w.matrix.preference(0, subset[i]));
+}
+
+TEST(Sleeper, HonestUntilVote) {
+  Sleeper s;
+  Rng rng(12);
+  EXPECT_TRUE(s.report(0, 0, true, ctx(Phase::kSample), rng));
+  EXPECT_TRUE(s.report(0, 0, true, ctx(Phase::kZeroRadius), rng));
+  EXPECT_TRUE(s.report(0, 0, true, ctx(Phase::kClusterGraph), rng));
+  EXPECT_FALSE(s.report(0, 0, true, ctx(Phase::kVote), rng));
+  EXPECT_TRUE(s.report(0, 0, false, ctx(Phase::kVote), rng));
+}
+
+TEST(Population, DefaultAllHonest) {
+  Population pop(10);
+  EXPECT_EQ(pop.honest_count(), 10u);
+  EXPECT_EQ(pop.dishonest_count(), 0u);
+  EXPECT_TRUE(pop.is_honest(5));
+  EXPECT_EQ(pop.honest_players().size(), 10u);
+  EXPECT_TRUE(pop.dishonest_players().empty());
+}
+
+TEST(Population, SetBehaviorChangesHonesty) {
+  Population pop(4);
+  pop.set_behavior(2, std::make_unique<Inverter>());
+  EXPECT_FALSE(pop.is_honest(2));
+  EXPECT_EQ(pop.honest_count(), 3u);
+  EXPECT_EQ(pop.dishonest_players(), std::vector<PlayerId>{2});
+}
+
+TEST(Population, CorruptRandomRespectsCountAndProtection) {
+  Rng rng(13);
+  Population pop(50);
+  pop.corrupt_random(10, rng, [] { return std::make_unique<RandomLiar>(); },
+                     /*protected_player=*/0);
+  EXPECT_EQ(pop.dishonest_count(), 10u);
+  EXPECT_TRUE(pop.is_honest(0));
+}
+
+TEST(Population, ReportOfChargesHonestOnly) {
+  const World w = identical_clusters(4, 8, 1, Rng(14));
+  ProbeOracle oracle(w.matrix);
+  Population pop(4);
+  pop.set_behavior(1, std::make_unique<Inverter>());
+  Rng rng(15);
+  const ReportContext rctx{Phase::kVote, 0};
+
+  const bool honest_report = pop.report_of(0, 3, oracle, rctx, rng);
+  EXPECT_EQ(honest_report, w.matrix.preference(0, 3));
+  EXPECT_EQ(oracle.probes_by(0), 1u);
+
+  const bool liar_report = pop.report_of(1, 3, oracle, rctx, rng);
+  EXPECT_EQ(liar_report, !w.matrix.preference(1, 3));
+  EXPECT_EQ(oracle.probes_by(1), 0u);  // lying is free
+}
+
+TEST(Population, PublicationPassthroughForHonest) {
+  Population pop(2);
+  pop.set_behavior(1, std::make_unique<ConstantReporter>(true));
+  Rng rng(16);
+  BitVector honest_vec(4);
+  const ReportContext rctx{Phase::kSmallRadius, 0};
+  EXPECT_EQ(pop.publication(0, honest_vec, {}, rctx, rng), honest_vec);
+  EXPECT_EQ(pop.publication(1, honest_vec, {}, rctx, rng).popcount(), 4u);
+}
+
+}  // namespace
+}  // namespace colscore

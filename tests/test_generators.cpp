@@ -1,0 +1,170 @@
+#include "src/model/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+namespace colscore {
+namespace {
+
+TEST(IdenticalClusters, MembersAreExactTwins) {
+  const World w = identical_clusters(64, 64, 4, Rng(1));
+  EXPECT_EQ(w.n_players(), 64u);
+  EXPECT_EQ(w.n_clusters, 4u);
+  EXPECT_EQ(w.planted_diameter, 0u);
+  for (std::uint32_t c = 0; c < 4; ++c) {
+    const auto members = w.cluster_members(c);
+    EXPECT_EQ(members.size(), 16u);
+    for (PlayerId p : members)
+      EXPECT_EQ(w.matrix.distance(members[0], p), 0u);
+  }
+}
+
+TEST(IdenticalClusters, DifferentClustersDiffer) {
+  const World w = identical_clusters(32, 128, 2, Rng(2));
+  const auto a = w.cluster_members(0);
+  const auto b = w.cluster_members(1);
+  // Random 128-bit centers collide with probability 2^-128.
+  EXPECT_GT(w.matrix.distance(a[0], b[0]), 0u);
+}
+
+TEST(PlantedClusters, DiameterRespected) {
+  const std::size_t D = 20;
+  const World w = planted_clusters(60, 200, 3, D, Rng(3));
+  EXPECT_EQ(w.planted_diameter, D);
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    const auto members = w.cluster_members(c);
+    EXPECT_LE(w.matrix.diameter(members), D);
+  }
+}
+
+TEST(PlantedClusters, EveryPlayerAssigned) {
+  const World w = planted_clusters(50, 50, 5, 4, Rng(4));
+  for (PlayerId p = 0; p < 50; ++p) EXPECT_NE(w.cluster_of[p], kNoCluster);
+  EXPECT_GE(w.min_cluster_size(), 10u);
+}
+
+TEST(PlantedClusters, ZeroDiameterEqualsIdentical) {
+  const World w = planted_clusters(30, 100, 3, 0, Rng(5));
+  for (std::uint32_t c = 0; c < 3; ++c) {
+    const auto members = w.cluster_members(c);
+    for (PlayerId p : members) EXPECT_EQ(w.matrix.distance(members[0], p), 0u);
+  }
+}
+
+TEST(PlantedClusters, ZipfSizesSkewed) {
+  const World w = planted_clusters(1000, 100, 5, 4, Rng(6), /*zipf=*/true);
+  std::vector<std::size_t> sizes(5, 0);
+  for (auto c : w.cluster_of) ++sizes[c];
+  EXPECT_GT(sizes[0], sizes[4]);  // rank-1 cluster much larger
+  EXPECT_GE(*std::min_element(sizes.begin(), sizes.end()), 1u);
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}), 1000u);
+}
+
+TEST(LowerBound, PivotGroupStructure) {
+  const std::size_t n = 128, B = 8, D = 16;
+  const World w = lower_bound_instance(n, B, D, Rng(7));
+  const std::size_t group = n / B;
+  // Group members agree with the pivot outside S: distance <= D.
+  for (PlayerId q = 1; q < group; ++q) EXPECT_LE(w.matrix.distance(0, q), D);
+  // Background players are ~n/2 away.
+  std::size_t near_background = 0;
+  for (PlayerId q = static_cast<PlayerId>(group); q < n; ++q)
+    if (w.matrix.distance(0, q) < n / 4) ++near_background;
+  EXPECT_EQ(near_background, 0u);
+}
+
+TEST(LowerBound, ClusterMetadata) {
+  const World w = lower_bound_instance(64, 4, 8, Rng(8));
+  const auto members = w.cluster_members(0);
+  EXPECT_EQ(members.size(), 16u);  // n/B
+  EXPECT_EQ(w.cluster_of[0], 0u);
+  EXPECT_EQ(w.cluster_of[20], kNoCluster);
+}
+
+TEST(ChainedClusters, AdjacentLinksAtStep) {
+  const World w = chained_clusters(80, 400, 8, 10, Rng(9));
+  EXPECT_EQ(w.n_clusters, 8u);
+  // Center distance between links i and j is exactly |i-j| * step.
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    for (std::uint32_t j = 0; j < 8; ++j) {
+      const auto a = w.cluster_members(i);
+      const auto b = w.cluster_members(j);
+      EXPECT_EQ(w.matrix.distance(a[0], b[0]),
+                static_cast<std::size_t>(i > j ? i - j : j - i) * 10u);
+    }
+  }
+}
+
+TEST(ChainedClusters, RejectsOverlongChain) {
+  EXPECT_DEATH(chained_clusters(10, 20, 5, 10, Rng(10)), "chain");
+}
+
+TEST(UniformRandom, NoStructure) {
+  const World w = uniform_random(40, 1000, Rng(11));
+  EXPECT_EQ(w.n_clusters, 0u);
+  // Random pairs are near n/2 apart.
+  for (PlayerId p = 1; p < 10; ++p) {
+    const std::size_t d = w.matrix.distance(0, p);
+    EXPECT_GT(d, 350u);
+    EXPECT_LT(d, 650u);
+  }
+}
+
+TEST(TwoBlocks, MaximallySeparated) {
+  const World w = two_blocks(20, 64, Rng(12));
+  EXPECT_EQ(w.matrix.distance(0, 1), 0u);
+  EXPECT_EQ(w.matrix.distance(0, 19), 64u);  // complement
+  EXPECT_EQ(w.cluster_of[0], 0u);
+  EXPECT_EQ(w.cluster_of[19], 1u);
+}
+
+TEST(World, ClusterMembersAndMinSize) {
+  const World w = identical_clusters(10, 10, 3, Rng(13));
+  std::size_t total = 0;
+  for (std::uint32_t c = 0; c < 3; ++c) total += w.cluster_members(c).size();
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(w.min_cluster_size(), 3u);  // 10 = 4+3+3
+}
+
+TEST(Generators, DeterministicInSeed) {
+  const World a = planted_clusters(30, 30, 3, 6, Rng(99));
+  const World b = planted_clusters(30, 30, 3, 6, Rng(99));
+  for (PlayerId p = 0; p < 30; ++p) EXPECT_EQ(a.matrix.row(p), b.matrix.row(p));
+}
+
+TEST(Generators, SeedsChangeWorld) {
+  const World a = planted_clusters(30, 30, 3, 6, Rng(1));
+  const World b = planted_clusters(30, 30, 3, 6, Rng(2));
+  bool any_diff = false;
+  for (PlayerId p = 0; p < 30; ++p)
+    if (a.matrix.row(p) != b.matrix.row(p)) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(PreferenceMatrix, DiameterOfSpan) {
+  PreferenceMatrix m(3, 8);
+  m.set(1, 0, true);
+  m.set(2, 0, true);
+  m.set(2, 1, true);
+  const std::vector<PlayerId> all{0, 1, 2};
+  EXPECT_EQ(m.diameter(all), 2u);  // dist(0,2) = 2
+}
+
+class GeneratorDiameterSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(GeneratorDiameterSweep, PlantedDiameterIsUpperBound) {
+  const auto [n, D] = GetParam();
+  const World w = planted_clusters(n, n, 4, D, Rng(n * 31 + D));
+  for (std::uint32_t c = 0; c < 4; ++c)
+    EXPECT_LE(w.matrix.diameter(w.cluster_members(c)), D);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, GeneratorDiameterSweep,
+                         ::testing::Combine(::testing::Values(32, 64, 128),
+                                            ::testing::Values(0, 2, 8, 32)));
+
+}  // namespace
+}  // namespace colscore

@@ -1,0 +1,192 @@
+// Property-style sweeps over (n, B, D, seed, adversary mix): protocol
+// contracts that must hold across the whole parameter grid, exercised with
+// parameterized gtest suites.
+#include <gtest/gtest.h>
+
+#include "src/common/thread_pool.hpp"
+#include "src/core/calculate_preferences.hpp"
+#include "src/metrics/error.hpp"
+#include "src/metrics/optimal.hpp"
+#include "tests/test_util.hpp"
+
+namespace colscore {
+namespace {
+
+using testutil::Harness;
+
+// ---------------------------------------------------------------------------
+// Property: honest error stays O(D) across the grid (Lemma 12 / Theorem 14).
+// ---------------------------------------------------------------------------
+struct GridCase {
+  std::size_t n;
+  std::size_t budget;
+  std::size_t diameter;
+  std::uint64_t seed;
+};
+
+class ErrorBoundGrid : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(ErrorBoundGrid, HonestErrorBounded) {
+  const GridCase c = GetParam();
+  Harness h(planted_clusters(c.n, c.n, c.budget, c.diameter, Rng(c.seed)));
+  Params params = Params::practical(c.budget);
+  const ProtocolResult r = calculate_preferences(h.env, params, c.seed);
+  const auto honest = h.population.honest_players();
+  const auto errors = hamming_errors(h.world.matrix, r.outputs, honest);
+  const std::size_t worst = *std::max_element(errors.begin(), errors.end());
+  EXPECT_LE(worst, std::max<std::size_t>(3 * c.diameter, 8))
+      << "n=" << c.n << " B=" << c.budget << " D=" << c.diameter
+      << " seed=" << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ErrorBoundGrid,
+    ::testing::Values(GridCase{128, 4, 4, 1}, GridCase{128, 4, 16, 2},
+                      GridCase{128, 8, 8, 3}, GridCase{256, 8, 8, 4},
+                      GridCase{256, 8, 24, 5}, GridCase{256, 4, 16, 6},
+                      GridCase{192, 6, 12, 7}, GridCase{256, 16, 8, 8}));
+
+// ---------------------------------------------------------------------------
+// Property: Byzantine tolerance at the n/(3B) bound for every strategy.
+// ---------------------------------------------------------------------------
+struct ByzCase {
+  std::size_t n;
+  std::size_t budget;
+  std::size_t diameter;
+  int strategy;  // 0=liar 1=inverter 2=sleeper 3=constant
+  std::uint64_t seed;
+};
+
+class ByzantineGrid : public ::testing::TestWithParam<ByzCase> {};
+
+std::unique_ptr<Behavior> make_strategy(int which) {
+  switch (which) {
+    case 0: return std::make_unique<RandomLiar>();
+    case 1: return std::make_unique<Inverter>();
+    case 2: return std::make_unique<Sleeper>();
+    default: return std::make_unique<ConstantReporter>(true);
+  }
+}
+
+TEST_P(ByzantineGrid, ToleranceAtPaperBound) {
+  const ByzCase c = GetParam();
+  Harness h(planted_clusters(c.n, c.n, c.budget, c.diameter, Rng(c.seed)));
+  Rng rng(c.seed * 31);
+  h.population.corrupt_random(c.n / (3 * c.budget), rng,
+                              [&] { return make_strategy(c.strategy); });
+  Params params = Params::practical(c.budget);
+  const ProtocolResult r = calculate_preferences(h.env, params, c.seed);
+  const auto honest = h.population.honest_players();
+  const auto errors = hamming_errors(h.world.matrix, r.outputs, honest);
+  const std::size_t worst = *std::max_element(errors.begin(), errors.end());
+  EXPECT_LE(worst, std::max<std::size_t>(4 * c.diameter, 10))
+      << "strategy=" << c.strategy << " seed=" << c.seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ByzantineGrid,
+    ::testing::Values(ByzCase{256, 8, 8, 0, 11}, ByzCase{256, 8, 8, 1, 12},
+                      ByzCase{256, 8, 8, 2, 13}, ByzCase{256, 8, 8, 3, 14},
+                      ByzCase{128, 4, 12, 0, 15}, ByzCase{128, 4, 12, 1, 16},
+                      ByzCase{128, 4, 12, 2, 17}, ByzCase{128, 4, 12, 3, 18}));
+
+// ---------------------------------------------------------------------------
+// Property: honest players never exceed the tracked budget envelope; probe
+// accounting is exact; board integrity holds (Lemmas 10-11).
+// ---------------------------------------------------------------------------
+class AccountingGrid : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AccountingGrid, ProbeAccountingAndBoardIntegrity) {
+  const std::uint64_t seed = GetParam();
+  Harness h(planted_clusters(128, 128, 4, 8, Rng(seed)));
+  Rng rng(seed + 1);
+  h.population.corrupt_random(8, rng, [] { return std::make_unique<RandomLiar>(); });
+  Params params = Params::practical(4);
+  const ProtocolResult r = calculate_preferences(h.env, params, seed);
+
+  // (a) exact accounting
+  std::uint64_t total = 0;
+  for (auto c : r.probes_by_player) total += c;
+  EXPECT_EQ(total, r.total_probes);
+  EXPECT_EQ(total, h.env.oracle.total_probes());
+
+  // (b) dishonest players never pay for probes
+  for (PlayerId p : h.population.dishonest_players())
+    EXPECT_EQ(r.probes_by_player[p], 0u);
+
+  // (c) probe bill is far below probing everything log n times over
+  EXPECT_LT(r.max_probes, 128u * 14u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccountingGrid, ::testing::Values(1, 2, 3, 4, 5));
+
+// ---------------------------------------------------------------------------
+// Property: determinism across thread counts (HPC requirement — results must
+// not depend on the parallel schedule).
+// ---------------------------------------------------------------------------
+class ThreadDeterminism : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ThreadDeterminism, SameOutputsAnyThreadCount) {
+  ThreadPool::reset_global(GetParam());
+  Harness h(planted_clusters(128, 128, 4, 8, Rng(42)));
+  Params params = Params::practical(4);
+  const ProtocolResult r = calculate_preferences(h.env, params, 99);
+  // Fingerprint the outputs; compare against the single-thread reference.
+  std::uint64_t fingerprint = 0;
+  for (const auto& v : r.outputs) fingerprint ^= v.content_hash() * 0x9e3779b97f4a7c15ULL;
+
+  ThreadPool::reset_global(1);
+  Harness ref(planted_clusters(128, 128, 4, 8, Rng(42)));
+  const ProtocolResult rr = calculate_preferences(ref.env, params, 99);
+  std::uint64_t ref_fingerprint = 0;
+  for (const auto& v : rr.outputs)
+    ref_fingerprint ^= v.content_hash() * 0x9e3779b97f4a7c15ULL;
+
+  EXPECT_EQ(fingerprint, ref_fingerprint);
+  EXPECT_EQ(r.total_probes, rr.total_probes);
+  ThreadPool::reset_global(0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ThreadDeterminism, ::testing::Values(1, 2, 4, 8));
+
+// ---------------------------------------------------------------------------
+// Property: beyond the tolerance bound the protocol is allowed to degrade —
+// and with a hostile-majority cluster it must (failure injection; the bound
+// is load-bearing, not slack).
+// ---------------------------------------------------------------------------
+TEST(FailureInjection, MassiveCorruptionBreaksPredictions) {
+  const std::size_t n = 128, B = 4;
+  Harness h(planted_clusters(n, n, B, 8, Rng(77)));
+  Rng rng(78);
+  h.population.corrupt_random(n * 2 / 3, rng,
+                              [] { return std::make_unique<Inverter>(); });
+  Params params = Params::practical(B);
+  const ProtocolResult r = calculate_preferences(h.env, params, 100);
+  const auto honest = h.population.honest_players();
+  const auto errors = hamming_errors(h.world.matrix, r.outputs, honest);
+  const std::size_t worst = *std::max_element(errors.begin(), errors.end());
+  EXPECT_GT(worst, 16u);  // way past any O(D) bound
+}
+
+// ---------------------------------------------------------------------------
+// Property: RSelect's final choice never loses to the best candidate by more
+// than a constant factor, measured against the empirical OPT bracket.
+// ---------------------------------------------------------------------------
+class OptimalityGrid : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(OptimalityGrid, ApproxRatioBounded) {
+  const std::uint64_t seed = GetParam();
+  Harness h(planted_clusters(192, 192, 6, 16, Rng(seed)));
+  Params params = Params::practical(6);
+  const ProtocolResult r = calculate_preferences(h.env, params, seed + 7);
+  const auto honest = h.population.honest_players();
+  const auto errors = hamming_errors(h.world.matrix, r.outputs, honest);
+  const OptEstimate opt = opt_radius(h.world.matrix, 192 / 6);
+  // Constant-factor optimality: generous constant for laptop-scale n.
+  EXPECT_LE(worst_approx_ratio(errors, honest, opt), 12.0) << "seed=" << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimalityGrid, ::testing::Values(21, 22, 23));
+
+}  // namespace
+}  // namespace colscore

@@ -1,0 +1,39 @@
+// Shared fixtures for protocol tests: bundles world + population + oracle +
+// board + beacon into a ready ProtocolEnv.
+#pragma once
+
+#include <memory>
+
+#include "src/model/generators.hpp"
+#include "src/protocols/env.hpp"
+
+namespace colscore::testutil {
+
+struct Harness {
+  World world;
+  Population population;
+  ProbeOracle oracle;
+  BulletinBoard board;
+  HonestBeacon beacon;
+  ProtocolEnv env;
+
+  Harness(World w, std::uint64_t seed = 0xbeac0ULL)
+      : world(std::move(w)),
+        population(world.n_players()),
+        oracle(world.matrix),
+        beacon(seed),
+        env(oracle, board, population, beacon, mix_keys(seed, 0x10ca1ULL)) {}
+
+  std::vector<PlayerId> all_players() const {
+    std::vector<PlayerId> out(world.n_players());
+    for (PlayerId p = 0; p < out.size(); ++p) out[p] = p;
+    return out;
+  }
+  std::vector<ObjectId> all_objects() const {
+    std::vector<ObjectId> out(world.n_objects());
+    for (ObjectId o = 0; o < out.size(); ++o) out[o] = o;
+    return out;
+  }
+};
+
+}  // namespace colscore::testutil
