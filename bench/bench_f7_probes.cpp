@@ -10,22 +10,22 @@
 // cluster structure.
 #include <benchmark/benchmark.h>
 
-#include "src/sim/experiment.hpp"
+#include "src/sim/registry.hpp"
 
 namespace colscore {
 namespace {
 
 void run_probe_sweep(benchmark::State& state, std::size_t n, std::size_t budget) {
-  ExperimentConfig config;
-  config.n = n;
-  config.budget = budget;
-  config.diameter = 16;
-  config.seed = 3;
-  config.compute_opt = false;
+  Scenario scenario;
+  scenario.n = n;
+  scenario.budget = budget;
+  scenario.diameter = 16;
+  scenario.seed = 3;
+  scenario.compute_opt = false;
 
   double max_probes = 0, honest_max = 0, max_err = 0;
   for (auto _ : state) {
-    const ExperimentOutcome out = run_experiment(config);
+    const ExperimentOutcome out = run_scenario(scenario);
     max_probes = static_cast<double>(out.max_probes);
     honest_max = static_cast<double>(out.honest_max_probes);
     max_err = static_cast<double>(out.error.max_error);

@@ -14,35 +14,35 @@ namespace colscore {
 namespace {
 
 void BM_Accuracy_HonestSweepD(benchmark::State& state) {
-  ExperimentConfig config;
-  config.n = 256;
-  config.budget = 8;
-  config.diameter = static_cast<std::size_t>(state.range(0));
-  config.seed = 5;
+  Scenario scenario;
+  scenario.n = 256;
+  scenario.budget = 8;
+  scenario.diameter = static_cast<std::size_t>(state.range(0));
+  scenario.seed = 5;
   ExperimentOutcome out;
-  for (auto _ : state) out = run_experiment(config);
+  for (auto _ : state) out = run_scenario(scenario);
   benchutil::attach_outcome(state, out);
-  state.counters["D"] = static_cast<double>(config.diameter);
+  state.counters["D"] = static_cast<double>(scenario.diameter);
   state.counters["err_over_D"] =
       static_cast<double>(out.error.max_error) /
-      std::max<double>(1.0, static_cast<double>(config.diameter));
+      std::max<double>(1.0, static_cast<double>(scenario.diameter));
 }
 
 void BM_Accuracy_ByzantineSweep(benchmark::State& state) {
-  ExperimentConfig config;
-  config.n = 256;
-  config.budget = 8;
-  config.diameter = 12;
-  config.seed = 6;
-  config.adversary = AdversaryKind::kSleeper;
-  const std::size_t tolerance = config.n / (3 * config.budget);
+  Scenario scenario;
+  scenario.n = 256;
+  scenario.budget = 8;
+  scenario.diameter = 12;
+  scenario.seed = 6;
+  scenario.adversary = "sleeper";
+  const std::size_t tolerance = scenario.n / (3 * scenario.budget);
   // range is dishonest count in units of tolerance/2.
-  config.dishonest = static_cast<std::size_t>(state.range(0)) * tolerance / 2;
-  config.compute_opt = false;
+  scenario.dishonest = static_cast<std::size_t>(state.range(0)) * tolerance / 2;
+  scenario.compute_opt = false;
   ExperimentOutcome out;
-  for (auto _ : state) out = run_experiment(config);
+  for (auto _ : state) out = run_scenario(scenario);
   benchutil::attach_outcome(state, out);
-  state.counters["dishonest"] = static_cast<double>(config.dishonest);
+  state.counters["dishonest"] = static_cast<double>(scenario.dishonest);
   state.counters["tolerance"] = static_cast<double>(tolerance);
   state.counters["err_over_D"] =
       static_cast<double>(out.error.max_error) / 12.0;
@@ -52,36 +52,36 @@ void BM_Accuracy_StrangeColluders(benchmark::State& state) {
   // Lemma 13's crux adversary: omniscient colluders that vote with the
   // honest minority exactly on the "strange" (split) objects — the only
   // votes that can flip. Error must stay O(D) at the tolerance bound.
-  ExperimentConfig config;
-  config.n = 256;
-  config.budget = 8;
-  config.diameter = 12;
-  config.seed = 8;
-  config.adversary = AdversaryKind::kStrangeColluder;
-  config.dishonest =
-      static_cast<std::size_t>(state.range(0)) * (config.n / (3 * config.budget)) / 2;
-  config.compute_opt = false;
+  Scenario scenario;
+  scenario.n = 256;
+  scenario.budget = 8;
+  scenario.diameter = 12;
+  scenario.seed = 8;
+  scenario.adversary = "strange_colluder";
+  scenario.dishonest = static_cast<std::size_t>(state.range(0)) *
+                       (scenario.n / (3 * scenario.budget)) / 2;
+  scenario.compute_opt = false;
   ExperimentOutcome out;
-  for (auto _ : state) out = run_experiment(config);
+  for (auto _ : state) out = run_scenario(scenario);
   benchutil::attach_outcome(state, out);
-  state.counters["dishonest"] = static_cast<double>(config.dishonest);
+  state.counters["dishonest"] = static_cast<double>(scenario.dishonest);
   state.counters["err_over_D"] = static_cast<double>(out.error.max_error) / 12.0;
 }
 
 void BM_Accuracy_RobustWrapper(benchmark::State& state) {
   // The §7 wrapper (leader election + repetitions) at the tolerance bound.
-  ExperimentConfig config;
-  config.n = 192;
-  config.budget = 8;
-  config.diameter = 12;
-  config.seed = 7;
-  config.algorithm = AlgorithmKind::kRobust;
-  config.robust_outer_reps = 3;
-  config.adversary = AdversaryKind::kSleeper;
-  config.dishonest = config.n / (3 * config.budget);
-  config.compute_opt = false;
+  Scenario scenario;
+  scenario.n = 192;
+  scenario.budget = 8;
+  scenario.diameter = 12;
+  scenario.seed = 7;
+  scenario.algorithm = "robust";
+  scenario.robust_outer_reps = 3;
+  scenario.adversary = "sleeper";
+  scenario.dishonest = scenario.n / (3 * scenario.budget);
+  scenario.compute_opt = false;
   ExperimentOutcome out;
-  for (auto _ : state) out = run_experiment(config);
+  for (auto _ : state) out = run_scenario(scenario);
   benchutil::attach_outcome(state, out);
   state.counters["honest_leader_reps"] =
       static_cast<double>(out.honest_leader_reps);

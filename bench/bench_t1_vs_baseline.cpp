@@ -21,37 +21,38 @@
 
 #include "bench/bench_util.hpp"
 #include "src/baseline/baselines.hpp"
+#include "src/core/calculate_preferences.hpp"
 
 namespace colscore {
 namespace {
 
 void BM_ProbeScaling_Ours(benchmark::State& state) {
-  ExperimentConfig config;
-  config.n = 512;
-  config.budget = static_cast<std::size_t>(state.range(0));
-  config.diameter = 16;
-  config.seed = 10;
-  config.compute_opt = false;
+  Scenario scenario;
+  scenario.n = 512;
+  scenario.budget = static_cast<std::size_t>(state.range(0));
+  scenario.diameter = 16;
+  scenario.seed = 10;
+  scenario.compute_opt = false;
   ExperimentOutcome out;
-  for (auto _ : state) out = run_experiment(config);
-  state.counters["B"] = static_cast<double>(config.budget);
+  for (auto _ : state) out = run_scenario(scenario);
+  state.counters["B"] = static_cast<double>(scenario.budget);
   state.counters["max_probes"] = static_cast<double>(out.max_probes);
   state.counters["probes_over_B"] = static_cast<double>(out.max_probes) /
-                                    static_cast<double>(config.budget);
+                                    static_cast<double>(scenario.budget);
   state.counters["max_err"] = static_cast<double>(out.error.max_error);
 }
 
 void BM_ProbeScaling_Baseline(benchmark::State& state) {
-  ExperimentConfig config;
-  config.n = 512;
-  config.budget = static_cast<std::size_t>(state.range(0));
-  config.diameter = 16;
-  config.seed = 10;
-  config.algorithm = AlgorithmKind::kSampleAndShare;
-  config.compute_opt = false;
+  Scenario scenario;
+  scenario.n = 512;
+  scenario.budget = static_cast<std::size_t>(state.range(0));
+  scenario.diameter = 16;
+  scenario.seed = 10;
+  scenario.algorithm = "sample_and_share";
+  scenario.compute_opt = false;
   ExperimentOutcome out;
-  for (auto _ : state) out = run_experiment(config);
-  const double b = static_cast<double>(config.budget);
+  for (auto _ : state) out = run_scenario(scenario);
+  const double b = static_cast<double>(scenario.budget);
   state.counters["B"] = b;
   state.counters["max_probes"] = static_cast<double>(out.max_probes);
   state.counters["probes_over_B2"] = static_cast<double>(out.max_probes) / (b * b);
@@ -95,30 +96,30 @@ void BM_Hijack_Baseline(benchmark::State& state) {
   state.counters["hijackers"] = 256.0 / 24.0;
 }
 
-ExperimentConfig chained_config(AlgorithmKind algo) {
-  ExperimentConfig config;
-  config.n = 256;
-  config.budget = 4;
-  config.workload = WorkloadKind::kChained;
-  config.diameter = 12;  // chain step
-  config.seed = 9;
-  config.algorithm = algo;
-  config.compute_opt = true;
-  return config;
+Scenario chained_scenario(const char* algorithm) {
+  Scenario scenario;
+  scenario.n = 256;
+  scenario.budget = 4;
+  scenario.workload = "chained";
+  scenario.diameter = 12;  // chain step
+  scenario.seed = 9;
+  scenario.algorithm = algorithm;
+  scenario.compute_opt = true;
+  return scenario;
 }
 
 void BM_Chained_Ours(benchmark::State& state) {
   ExperimentOutcome out;
-  auto config = chained_config(AlgorithmKind::kCalculatePreferences);
-  for (auto _ : state) out = run_experiment(config);
+  const Scenario scenario = chained_scenario("calculate_preferences");
+  for (auto _ : state) out = run_scenario(scenario);
   benchutil::attach_outcome(state, out);
   state.counters["step"] = 12;
 }
 
 void BM_Chained_Baseline(benchmark::State& state) {
   ExperimentOutcome out;
-  auto config = chained_config(AlgorithmKind::kSampleAndShare);
-  for (auto _ : state) out = run_experiment(config);
+  const Scenario scenario = chained_scenario("sample_and_share");
+  for (auto _ : state) out = run_scenario(scenario);
   benchutil::attach_outcome(state, out);
   state.counters["step"] = 12;
 }

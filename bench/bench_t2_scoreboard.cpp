@@ -1,7 +1,7 @@
-// T2 — the end-to-end scoreboard: every algorithm on the same planted world,
-// with and without Byzantine players. Rows: error and probe cost. The genie
-// (oracle_clusters) is the OPT reference; probe_all and random_guess are the
-// degenerate corners.
+// T2 — the end-to-end scoreboard: every registered algorithm on the same
+// planted world, with and without Byzantine players. Rows: error and probe
+// cost. The genie (oracle_clusters) is the OPT reference; probe_all and
+// random_guess are the degenerate corners.
 #include <benchmark/benchmark.h>
 
 #include "bench/bench_util.hpp"
@@ -9,30 +9,30 @@
 namespace colscore {
 namespace {
 
-void run_row(benchmark::State& state, AlgorithmKind algo, bool byzantine) {
-  ExperimentConfig config;
-  config.n = 256;
-  config.budget = 8;
-  config.diameter = 16;
-  config.seed = 21;
-  config.algorithm = algo;
-  config.robust_outer_reps = 3;
+void run_row(benchmark::State& state, const char* algorithm, bool byzantine) {
+  Scenario scenario;
+  scenario.n = 256;
+  scenario.budget = 8;
+  scenario.diameter = 16;
+  scenario.seed = 21;
+  scenario.algorithm = algorithm;
+  scenario.robust_outer_reps = 3;
   if (byzantine) {
-    config.adversary = AdversaryKind::kSleeper;
-    config.dishonest = config.n / (3 * config.budget);
+    scenario.adversary = "sleeper";
+    scenario.dishonest = scenario.n / (3 * scenario.budget);
   }
   ExperimentOutcome out;
-  for (auto _ : state) out = run_experiment(config);
+  for (auto _ : state) out = run_scenario(scenario);
   benchutil::attach_outcome(state, out);
   state.counters["byz"] = byzantine ? 1 : 0;
 }
 
-void BM_Ours(benchmark::State& s) { run_row(s, AlgorithmKind::kCalculatePreferences, s.range(0)); }
-void BM_Robust(benchmark::State& s) { run_row(s, AlgorithmKind::kRobust, s.range(0)); }
-void BM_ProbeAll(benchmark::State& s) { run_row(s, AlgorithmKind::kProbeAll, s.range(0)); }
-void BM_RandomGuess(benchmark::State& s) { run_row(s, AlgorithmKind::kRandomGuess, s.range(0)); }
-void BM_OracleClusters(benchmark::State& s) { run_row(s, AlgorithmKind::kOracleClusters, s.range(0)); }
-void BM_SampleAndShare(benchmark::State& s) { run_row(s, AlgorithmKind::kSampleAndShare, s.range(0)); }
+void BM_Ours(benchmark::State& s) { run_row(s, "calculate_preferences", s.range(0)); }
+void BM_Robust(benchmark::State& s) { run_row(s, "robust", s.range(0)); }
+void BM_ProbeAll(benchmark::State& s) { run_row(s, "probe_all", s.range(0)); }
+void BM_RandomGuess(benchmark::State& s) { run_row(s, "random_guess", s.range(0)); }
+void BM_OracleClusters(benchmark::State& s) { run_row(s, "oracle_clusters", s.range(0)); }
+void BM_SampleAndShare(benchmark::State& s) { run_row(s, "sample_and_share", s.range(0)); }
 
 BENCHMARK(BM_Ours)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->Iterations(1);
 BENCHMARK(BM_Robust)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond)->Iterations(1);

@@ -15,7 +15,7 @@
 #include "src/common/timer.hpp"
 #include "src/metrics/optimal.hpp"
 #include "src/protocols/neighbor_graph.hpp"
-#include "src/sim/experiment.hpp"
+#include "src/sim/suite.hpp"
 
 namespace colscore {
 namespace {
@@ -64,22 +64,48 @@ void BM_FullProtocol(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
   ThreadPool::reset_global(threads);
 
-  ExperimentConfig config;
-  config.n = 512;
-  config.budget = 8;
-  config.diameter = 16;
-  config.seed = 33;
-  config.compute_opt = false;
+  Scenario scenario;
+  scenario.n = 512;
+  scenario.budget = 8;
+  scenario.diameter = 16;
+  scenario.seed = 33;
+  scenario.compute_opt = false;
 
   double seconds = 0;
   for (auto _ : state) {
-    const ExperimentOutcome out = run_experiment(config);
+    const ExperimentOutcome out = run_scenario(scenario);
     seconds = out.wall_seconds;
     state.counters["max_err"] = static_cast<double>(out.error.max_error);
   }
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["wall_s"] = seconds;
   ThreadPool::reset_global(0);
+}
+
+void BM_SuiteGrid(benchmark::State& state) {
+  // Suite-level parallelism: a 3x2 grid of full scenarios executed by the
+  // SuiteRunner across worker threads (run-level, on top of the per-run
+  // data-parallelism). Outputs are schedule-independent by construction.
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  ScenarioSpec base;
+  base.set("n", "256").set("budget", "8").set("opt", "0");
+
+  SuiteOptions options;
+  options.threads = threads;
+  SuiteRunner runner(options);
+
+  double seconds = 0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    Timer timer;
+    const auto results =
+        runner.run_grid(base, "adversary=none,sleeper,random_liar x dishonest=0,8");
+    runs = results.size();
+    seconds = timer.seconds();
+  }
+  state.counters["threads"] = static_cast<double>(threads);
+  state.counters["grid_runs"] = static_cast<double>(runs);
+  state.counters["wall_s"] = seconds;
 }
 
 BENCHMARK(BM_NeighborGraphKernel)
@@ -105,6 +131,14 @@ BENCHMARK(BM_FullProtocol)
     ->Arg(1)
     ->Arg(8)
     ->Arg(24)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->UseRealTime();
+
+BENCHMARK(BM_SuiteGrid)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(8)
     ->Unit(benchmark::kMillisecond)
     ->Iterations(1)
     ->UseRealTime();

@@ -5,7 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
-#include "src/sim/experiment.hpp"
+#include "src/sim/registry.hpp"
 
 namespace colscore::benchutil {
 

@@ -1,34 +1,30 @@
-// Quickstart: score 256 objects with 256 players, 32 of them dishonest.
+// Quickstart: score 256 objects with 256 players, 10 of them dishonest.
 //
-// Demonstrates the three-line happy path of the library — configure an
-// experiment, run it, read the metrics — plus the lower-level API (world /
-// population / oracle / protocol) for users who need control.
+// Demonstrates the three-line happy path of the library — describe a
+// scenario, resolve it against the registries, run it — plus how to register
+// a brand-new workload (no enum or core header is touched: registration is
+// the whole integration).
 //
-// Build & run:  cmake -B build -G Ninja && cmake --build build
-//               ./build/examples/quickstart
+// Build & run:  cmake -B build -S . && cmake --build build -j
+//               ./build/quickstart
 #include <cstdio>
 
-#include "src/sim/experiment.hpp"
+#include "src/sim/registry.hpp"
 
 using namespace colscore;
 
 int main() {
   // ---- High-level API ------------------------------------------------------
-  ExperimentConfig config;
-  config.n = 256;             // players == objects
-  config.budget = 8;          // B: reference probe budget
-  config.diameter = 16;       // planted cluster diameter
-  config.dishonest = config.n / (3 * config.budget);  // paper's tolerance cap
-  config.adversary = AdversaryKind::kRandomLiar;
-  config.algorithm = AlgorithmKind::kCalculatePreferences;
-  config.seed = 42;
+  // A scenario is a declarative string; every name resolves in a registry
+  // (try ./build/colscore_cli --list-adversaries for the full set).
+  const ScenarioSpec spec = ScenarioSpec::parse(
+      "workload=planted adversary=random_liar algorithm=calculate_preferences "
+      "n=256 budget=8 diameter=16 dishonest=10 seed=42");
+  const Scenario scenario = Scenario::resolve(spec);
 
-  std::printf("colscore quickstart: n=%zu budget=%zu planted diameter=%zu "
-              "dishonest=%zu (%s)\n",
-              config.n, config.budget, config.diameter, config.dishonest,
-              ExperimentConfig::adversary_name(config.adversary).c_str());
+  std::printf("colscore quickstart: %s\n", spec.to_string().c_str());
 
-  const ExperimentOutcome outcome = run_experiment(config);
+  const ExperimentOutcome outcome = run_scenario(scenario);
 
   std::printf("\nResults over %zu honest players:\n", outcome.honest_players);
   std::printf("  max prediction error   : %zu bits (planted diameter %zu)\n",
@@ -37,7 +33,7 @@ int main() {
   std::printf("  worst error/OPT ratio  : %.2f (Definition 1 bracket)\n",
               outcome.approx_ratio);
   std::printf("  max probes per player  : %llu (vs n=%zu to read everything)\n",
-              static_cast<unsigned long long>(outcome.max_probes), config.n);
+              static_cast<unsigned long long>(outcome.max_probes), scenario.n);
   std::printf("  wall time              : %.2fs\n", outcome.wall_seconds);
 
   std::printf("\nDiameter-guess iterations (Fig. 2 step 1):\n");
@@ -46,5 +42,20 @@ int main() {
                 it.diameter_guess, it.sample_size, it.clusters, it.min_cluster,
                 it.orphans);
   }
+
+  // ---- Extending the scenario surface -------------------------------------
+  // A new workload is one registration: a name, a description, and a factory.
+  // It is immediately runnable by name everywhere (specs, grids, the CLI).
+  WorkloadRegistry::instance().add(
+      "three_camps", {"three equal taste camps (quickstart demo)",
+                      [](const Scenario& sc, Rng& rng) {
+                        return identical_clusters(sc.n, sc.n, 3, rng);
+                      }});
+
+  const ExperimentOutcome demo = run_scenario(Scenario::resolve(
+      ScenarioSpec::parse("workload=three_camps n=128 seed=7 opt=0")));
+  std::printf("\nRegistered 'three_camps' and ran it: max_err=%zu over %zu "
+              "honest players\n",
+              demo.error.max_error, demo.honest_players);
   return 0;
 }

@@ -1,12 +1,17 @@
-// Adversary showdown: every attack strategy in the library, ramped from zero
+// Adversary showdown: every *registered* attack strategy, ramped from zero
 // to past the paper's n/(3B) tolerance, against both the robust protocol and
 // the non-robust Alon-et-al-style baseline. Prints one table row per
 // (strategy, fraction) pair.
 //
-// Run: ./build/examples/sybil_showdown
+// The strategy list comes from the AdversaryRegistry, so an adversary
+// registered anywhere in the process (see quickstart's three_camps workload
+// registration, or ROADMAP.md "Scenario API") shows up here automatically.
+//
+// Build & run:  cmake -B build -S . && cmake --build build -j
+//               ./build/sybil_showdown
 #include <cstdio>
 
-#include "src/sim/experiment.hpp"
+#include "src/sim/registry.hpp"
 
 using namespace colscore;
 
@@ -18,36 +23,31 @@ int main() {
 
   std::printf("Sybil showdown: n=%zu B=%zu D=%zu, tolerance n/(3B)=%zu\n\n",
               kN, kBudget, kDiameter, tolerance);
-  std::printf("%-14s %10s %18s %18s\n", "strategy", "dishonest",
+  std::printf("%-16s %10s %18s %18s\n", "strategy", "dishonest",
               "ours max-err", "baseline max-err");
 
-  const AdversaryKind strategies[] = {
-      AdversaryKind::kRandomLiar,     AdversaryKind::kInverter,
-      AdversaryKind::kConstantOne,    AdversaryKind::kHijacker,
-      AdversaryKind::kSleeper,        AdversaryKind::kStrangeColluder};
-
-  for (AdversaryKind strategy : strategies) {
+  for (const std::string& strategy : AdversaryRegistry::instance().names()) {
+    if (strategy == "none" || strategy == "targeted_bias") continue;
     for (const double mult : {0.0, 1.0, 3.0}) {
       const auto dishonest = static_cast<std::size_t>(
           mult * static_cast<double>(tolerance));
 
-      ExperimentConfig config;
-      config.n = kN;
-      config.budget = kBudget;
-      config.diameter = kDiameter;
-      config.adversary = strategy;
-      config.dishonest = dishonest;
-      config.seed = 11;
-      config.compute_opt = false;
+      Scenario scenario;
+      scenario.n = kN;
+      scenario.budget = kBudget;
+      scenario.diameter = kDiameter;
+      scenario.adversary = strategy;
+      scenario.dishonest = dishonest;
+      scenario.seed = 11;
+      scenario.compute_opt = false;
 
-      config.algorithm = AlgorithmKind::kCalculatePreferences;
-      const ExperimentOutcome ours = run_experiment(config);
+      scenario.algorithm = "calculate_preferences";
+      const ExperimentOutcome ours = run_scenario(scenario);
 
-      config.algorithm = AlgorithmKind::kSampleAndShare;
-      const ExperimentOutcome baseline = run_experiment(config);
+      scenario.algorithm = "sample_and_share";
+      const ExperimentOutcome baseline = run_scenario(scenario);
 
-      std::printf("%-14s %6zu%s %18zu %18zu%s\n",
-                  ExperimentConfig::adversary_name(strategy).c_str(), dishonest,
+      std::printf("%-16s %6zu%s %18zu %18zu%s\n", strategy.c_str(), dishonest,
                   dishonest > tolerance ? " (!)" : "    ",
                   ours.error.max_error, baseline.error.max_error,
                   dishonest > tolerance ? "   <- beyond tolerance" : "");

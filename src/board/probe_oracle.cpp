@@ -20,6 +20,23 @@ bool ProbeOracle::probe(PlayerId p, ObjectId o) {
   return truth_->preference(p, o);
 }
 
+void ProbeOracle::probe_many(PlayerId p, std::span<const ObjectId> objects,
+                             std::span<std::uint8_t> out) {
+  CS_ASSERT(p < counts_.size(), "probe_many: bad player id");
+  CS_ASSERT(out.size() >= objects.size(), "probe_many: output too small");
+  if (objects.empty()) return;
+  const std::uint64_t now =
+      counts_[p].fetch_add(objects.size(), std::memory_order_relaxed) +
+      objects.size();
+  if (mode_ == BudgetMode::kHard) {
+    CS_ASSERT(now <= budget_, "probe budget exceeded in kHard mode");
+  }
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    CS_ASSERT(objects[i] < truth_->n_objects(), "probe_many: bad object id");
+    out[i] = truth_->preference(p, objects[i]) ? 1 : 0;
+  }
+}
+
 bool ProbeOracle::adversary_peek(PlayerId p, ObjectId o) const {
   return truth_->preference(p, o);
 }

@@ -6,6 +6,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "src/common/types.hpp"
@@ -35,6 +36,14 @@ class ProbeOracle {
 
   /// Performs one probe: charges player p and returns v(p)_o.
   bool probe(PlayerId p, ObjectId o);
+
+  /// Batch probe: fills out[i] = v(p)_objects[i], charging all
+  /// objects.size() probes to p in a single counter round-trip. Semantically
+  /// identical to probing each object in order, but the per-player atomic is
+  /// touched once instead of once per object — the difference on hot voting
+  /// loops where many threads charge the same shared counter cache lines.
+  void probe_many(PlayerId p, std::span<const ObjectId> objects,
+                  std::span<std::uint8_t> out);
 
   /// Reads truth WITHOUT charging. Only adversaries use this (the paper's
   /// Byzantine players are omniscient, see DESIGN §2); honest protocol code

@@ -15,6 +15,8 @@ void CsvWriter::row(std::initializer_list<std::string> values) {
   write_row(std::vector<std::string>(values));
 }
 
+void CsvWriter::row(const std::vector<std::string>& values) { write_row(values); }
+
 void CsvWriter::write_row(const std::vector<std::string>& cells) {
   CS_ASSERT(cells.size() == width_, "csv: row width mismatch");
   for (std::size_t i = 0; i < cells.size(); ++i) {

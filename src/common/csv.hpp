@@ -17,6 +17,7 @@ class CsvWriter {
 
   /// Number of values must match the header width.
   void row(std::initializer_list<std::string> values);
+  void row(const std::vector<std::string>& values);
 
   template <typename... Ts>
   void row_values(const Ts&... vals) {

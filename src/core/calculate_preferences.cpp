@@ -62,15 +62,20 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
   ProtocolResult result;
   const auto before = probe_snapshot(env.oracle);
 
-  // Easy case (§6.1): B = Ω(n / log n) -> probe everything.
+  std::vector<ObjectId> all_objects(n_objects);
+  for (ObjectId o = 0; o < n_objects; ++o) all_objects[o] = o;
+
+  // Easy case (§6.1): B = Ω(n / log n) -> probe everything (one batched
+  // charge per player).
   if (static_cast<double>(params.budget) * static_cast<double>(log2n) >=
       params.easy_case_factor * static_cast<double>(n)) {
     result.easy_case = true;
     result.outputs.assign(n, BitVector(n_objects));
     parallel_for(0, n, [&](std::size_t p) {
+      std::vector<std::uint8_t> bits(n_objects);
+      env.own_probe_many(static_cast<PlayerId>(p), all_objects, bits);
       BitVector& row = result.outputs[p];
-      for (ObjectId o = 0; o < n_objects; ++o)
-        row.set(o, env.own_probe(static_cast<PlayerId>(p), o));
+      for (ObjectId o = 0; o < n_objects; ++o) row.set(o, bits[o] != 0);
     });
     fill_probe_deltas(result, env.oracle, before);
     return result;
@@ -78,8 +83,6 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
 
   std::vector<PlayerId> all_players(n);
   for (PlayerId p = 0; p < n; ++p) all_players[p] = p;
-  std::vector<ObjectId> all_objects(n_objects);
-  for (ObjectId o = 0; o < n_objects; ++o) all_objects[o] = o;
 
   const std::vector<std::size_t> guesses =
       diameter_guesses(n_objects, params.sample_rate_c, ln_n);

@@ -40,6 +40,18 @@ struct ProtocolEnv {
     return population.is_honest(p) ? oracle.probe(p, o) : oracle.adversary_peek(p, o);
   }
 
+  /// Batch form of own_probe (same honest-pays / dishonest-peeks rule);
+  /// honest players are charged in one counter round-trip.
+  void own_probe_many(PlayerId p, std::span<const ObjectId> objects,
+                      std::span<std::uint8_t> out) {
+    if (population.is_honest(p)) {
+      oracle.probe_many(p, objects, out);
+      return;
+    }
+    for (std::size_t i = 0; i < objects.size(); ++i)
+      out[i] = oracle.adversary_peek(p, objects[i]) ? 1 : 0;
+  }
+
   /// Local RNG stream for (player, phase).
   Rng local_rng(PlayerId p, std::uint64_t phase_key) const {
     return Rng(mix_keys(local_seed, p, phase_key));

@@ -7,42 +7,99 @@
 
 namespace colscore {
 
+// The voting loop is the hottest probe path in CalculatePreferences: every
+// cluster charges votes_per_object probes per object. Instead of one charged
+// probe per (object, vote) — which hammers the per-player atomic counters —
+// the loop materialises the shared-random voter assignment first, groups the
+// slots by voter, and lets each honest voter answer its whole slate through
+// ProbeOracle::probe_many (one charge round-trip per voter). Verdicts are
+// identical to the one-probe-at-a-time formulation: assignments, tie-break
+// coins, and per-slot RNG streams are all derived from stable keys, never
+// from execution order.
 BitVector cluster_votes(std::span<const PlayerId> members, ProtocolEnv& env,
                         std::uint64_t phase_key, const WorkShareParams& params,
                         WorkShareStats* stats) {
   CS_ASSERT(!members.empty(), "cluster_votes: empty cluster");
   const std::size_t n_objects = env.n_objects();
-  // Byte-per-object staging: BitVector::set on neighbouring bits would race
-  // across parallel tasks (word-level read-modify-write).
-  std::vector<std::uint8_t> verdicts(n_objects, 0);
+  const std::size_t k = params.votes_per_object;
+  const std::size_t n_slots = n_objects * k;
 
-  std::atomic<std::uint64_t> reports{0};
+  // Phase 1: derive the voter assignment and tie-break coins from the shared
+  // randomness (with an honest beacon the adversary cannot aim its members
+  // at chosen objects). slot = object * k + vote_index.
+  std::vector<std::uint32_t> voter_of(n_slots);
+  std::vector<std::uint8_t> tie_coin(n_objects);
+  parallel_for(0, n_objects, [&](std::size_t o) {
+    Rng assign = env.shared_rng(mix_keys(phase_key, 0xa551ULL, o));
+    for (std::size_t v = 0; v < k; ++v)
+      voter_of[o * k + v] = static_cast<std::uint32_t>(assign.below(members.size()));
+    // Drawn unconditionally so the coin only depends on the assignment
+    // stream position, not on whether a tie actually occurs.
+    tie_coin[o] = (assign() & 1) != 0 ? 1 : 0;
+  });
+
+  // Phase 2: group slots by voter (counting sort — slot order within a voter
+  // follows slot index, so batches are deterministic).
+  std::vector<std::size_t> offsets(members.size() + 1, 0);
+  for (std::uint32_t m : voter_of) ++offsets[m + 1];
+  for (std::size_t m = 1; m <= members.size(); ++m) offsets[m] += offsets[m - 1];
+  std::vector<std::uint32_t> slots_of_voter(n_slots);
+  {
+    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (std::size_t slot = 0; slot < n_slots; ++slot)
+      slots_of_voter[cursor[voter_of[slot]]++] = static_cast<std::uint32_t>(slot);
+  }
+
+  // Phase 3: each voter answers its slate. Honest voters batch-probe;
+  // dishonest voters go through their behaviour slot by slot with the same
+  // (phase_key, object, vote) RNG streams the serial formulation used.
+  const ReportContext ctx{Phase::kVote, phase_key};
+  std::vector<std::uint8_t> report_of_slot(n_slots);
+  parallel_for(0, members.size(), [&](std::size_t m) {
+    const PlayerId voter = members[m];
+    const std::span<const std::uint32_t> slate{
+        slots_of_voter.data() + offsets[m], offsets[m + 1] - offsets[m]};
+    if (slate.empty()) return;
+    if (env.population.is_honest(voter)) {
+      std::vector<ObjectId> objects(slate.size());
+      for (std::size_t i = 0; i < slate.size(); ++i)
+        objects[i] = static_cast<ObjectId>(slate[i] / k);
+      std::vector<std::uint8_t> bits(slate.size());
+      env.oracle.probe_many(voter, objects, bits);
+      for (std::size_t i = 0; i < slate.size(); ++i)
+        report_of_slot[slate[i]] = bits[i];
+    } else {
+      for (std::uint32_t slot : slate) {
+        const auto object = static_cast<ObjectId>(slot / k);
+        const std::size_t v = slot % k;
+        Rng vote_rng = env.local_rng(voter, mix_keys(phase_key, object, v));
+        report_of_slot[slot] =
+            env.population.report_of(voter, object, env.oracle, ctx, vote_rng) ? 1
+                                                                               : 0;
+      }
+    }
+  });
+
+  // Phase 4: post the reports and take majorities.
   std::atomic<std::uint64_t> ties{0};
-
+  std::vector<std::uint8_t> verdicts(n_objects, 0);
   parallel_for(0, n_objects, [&](std::size_t o) {
     const auto object = static_cast<ObjectId>(o);
-    // Assignment of voters comes from the shared randomness: with an honest
-    // beacon the adversary cannot aim its members at chosen objects.
-    Rng assign = env.shared_rng(mix_keys(phase_key, 0xa551ULL, object));
-    const ReportContext ctx{Phase::kVote, phase_key};
     std::size_t ones = 0;
-    for (std::size_t v = 0; v < params.votes_per_object; ++v) {
-      const PlayerId voter = members[assign.below(members.size())];
-      Rng vote_rng = env.local_rng(voter, mix_keys(phase_key, object, v));
-      const bool report = env.population.report_of(voter, object, env.oracle, ctx,
-                                                   vote_rng);
-      env.board.post_report(phase_key, voter, object, report);
+    for (std::size_t v = 0; v < k; ++v) {
+      const std::uint32_t slot = o * k + v;
+      const bool report = report_of_slot[slot] != 0;
+      env.board.post_report(phase_key, members[voter_of[slot]], object, report);
       if (report) ++ones;
     }
-    reports.fetch_add(params.votes_per_object, std::memory_order_relaxed);
-    const std::size_t zeros = params.votes_per_object - ones;
+    const std::size_t zeros = k - ones;
     bool verdict;
     if (ones > zeros) {
       verdict = true;
     } else if (zeros > ones) {
       verdict = false;
     } else {
-      verdict = (assign() & 1) != 0;  // shared tie-break coin
+      verdict = tie_coin[o] != 0;  // shared tie-break coin
       ties.fetch_add(1, std::memory_order_relaxed);
     }
     verdicts[o] = verdict ? 1 : 0;
@@ -52,7 +109,7 @@ BitVector cluster_votes(std::span<const PlayerId> members, ProtocolEnv& env,
   for (std::size_t o = 0; o < n_objects; ++o) prediction.set(o, verdicts[o] != 0);
 
   if (stats != nullptr) {
-    stats->reports += reports.load();
+    stats->reports += n_slots;
     stats->ties += ties.load();
   }
   return prediction;

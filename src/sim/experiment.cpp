@@ -1,11 +1,5 @@
 #include "src/sim/experiment.hpp"
 
-#include <algorithm>
-
-#include "src/baseline/baselines.hpp"
-#include "src/common/assert.hpp"
-#include "src/common/timer.hpp"
-
 namespace colscore {
 
 std::string ExperimentConfig::workload_name(WorkloadKind w) {
@@ -46,140 +40,34 @@ std::string ExperimentConfig::algorithm_name(AlgorithmKind a) {
   return "?";
 }
 
+Scenario ExperimentConfig::to_scenario() const {
+  Scenario sc;
+  sc.workload = workload_name(workload);
+  sc.adversary = adversary_name(adversary);
+  sc.algorithm = algorithm_name(algorithm);
+  sc.n = n;
+  sc.budget = budget;
+  sc.seed = seed;
+  sc.diameter = diameter;
+  sc.n_clusters = n_clusters;
+  sc.zipf_sizes = zipf_sizes;
+  sc.dishonest = dishonest;
+  sc.robust_outer_reps = robust_outer_reps;
+  sc.compute_opt = compute_opt;
+  sc.params = params;
+  return sc;
+}
+
 World build_world(const ExperimentConfig& config) {
-  Rng rng(mix_keys(config.seed, 0x0a71dULL));
-  const std::size_t clusters =
-      config.n_clusters != 0 ? config.n_clusters : std::max<std::size_t>(1, config.budget);
-  switch (config.workload) {
-    case WorkloadKind::kPlantedClusters:
-      return planted_clusters(config.n, config.n, clusters, config.diameter, rng,
-                              config.zipf_sizes);
-    case WorkloadKind::kIdenticalClusters:
-      return identical_clusters(config.n, config.n, clusters, rng);
-    case WorkloadKind::kLowerBound:
-      return lower_bound_instance(config.n, config.budget, config.diameter, rng);
-    case WorkloadKind::kChained: {
-      const std::size_t links =
-          config.n_clusters != 0 ? config.n_clusters
-                                 : std::max<std::size_t>(2, 2 * config.budget);
-      return chained_clusters(config.n, config.n, links, config.diameter, rng);
-    }
-    case WorkloadKind::kUniformRandom:
-      return uniform_random(config.n, config.n, rng);
-    case WorkloadKind::kTwoBlocks:
-      return two_blocks(config.n, config.n, rng);
-  }
-  CS_ASSERT(false, "build_world: unknown workload");
+  return build_scenario_world(config.to_scenario());
 }
 
 Population build_population(const ExperimentConfig& config, const World& world) {
-  Population pop(config.n);
-  if (config.dishonest == 0 || config.adversary == AdversaryKind::kNone) return pop;
-  Rng rng(mix_keys(config.seed, 0xad7e85a47ULL));
-
-  // Hijackers need victims: pick a fixed honest victim (player 0 is always
-  // protected from corruption so it stays a meaningful target).
-  const PlayerId victim = 0;
-
-  auto factory = [&]() -> std::unique_ptr<Behavior> {
-    switch (config.adversary) {
-      case AdversaryKind::kRandomLiar: return std::make_unique<RandomLiar>();
-      case AdversaryKind::kInverter: return std::make_unique<Inverter>();
-      case AdversaryKind::kConstantOne: return std::make_unique<ConstantReporter>(true);
-      case AdversaryKind::kTargetedBias: {
-        // Collude to promote the first 5% of objects.
-        std::unordered_set<ObjectId> targets;
-        for (ObjectId o = 0; o < std::max<std::size_t>(1, world.n_objects() / 20); ++o)
-          targets.insert(o);
-        return std::make_unique<TargetedBias>(std::move(targets), true);
-      }
-      case AdversaryKind::kHijacker:
-        return std::make_unique<ClusterHijacker>(world.matrix, victim);
-      case AdversaryKind::kSleeper: return std::make_unique<Sleeper>();
-      case AdversaryKind::kStrangeColluder:
-        return std::make_unique<StrangeObjectColluder>(world.matrix,
-                                                       config.diameter);
-      case AdversaryKind::kNone: break;
-    }
-    return std::make_unique<HonestBehavior>();
-  };
-  pop.corrupt_random(std::min(config.dishonest, config.n - 1), rng, factory, victim);
-  return pop;
+  return build_scenario_population(config.to_scenario(), world);
 }
 
 ExperimentOutcome run_experiment(const ExperimentConfig& config) {
-  Timer timer;
-  const World world = build_world(config);
-  const Population pop = build_population(config, world);
-  ProbeOracle oracle(world.matrix);
-  BulletinBoard board;
-
-  Params params = config.params;
-  params.budget = config.budget;
-
-  ProtocolResult result;
-  std::size_t honest_leader_reps = 0;
-
-  if (config.algorithm == AlgorithmKind::kRobust) {
-    RobustParams rp;
-    rp.inner = params;
-    rp.outer_reps = config.robust_outer_reps;
-    RobustResult rr = robust_calculate_preferences(
-        oracle, board, pop, rp, mix_keys(config.seed, 0x0b57ULL),
-        mix_keys(config.seed, 0x10ca1ULL));
-    result = std::move(rr.result);
-    honest_leader_reps = rr.honest_leader_reps;
-  } else {
-    HonestBeacon beacon(mix_keys(config.seed, 0xbeacULL));
-    ProtocolEnv env(oracle, board, pop, beacon, mix_keys(config.seed, 0x10ca1ULL));
-    switch (config.algorithm) {
-      case AlgorithmKind::kCalculatePreferences:
-        result = calculate_preferences(env, params, mix_keys(config.seed, 0xca1cULL));
-        break;
-      case AlgorithmKind::kProbeAll:
-        result = probe_all(env);
-        break;
-      case AlgorithmKind::kRandomGuess:
-        result = random_guess(env, mix_keys(config.seed, 0x99e55ULL));
-        break;
-      case AlgorithmKind::kOracleClusters:
-        result = oracle_clusters(env, world);
-        break;
-      case AlgorithmKind::kSampleAndShare: {
-        SampleShareParams sp;
-        sp.budget = config.budget;
-        sp.seed = mix_keys(config.seed, 0x5a3b1eULL);
-        result = sample_and_share(env, sp).result;
-        break;
-      }
-      case AlgorithmKind::kRobust:
-        break;  // handled above
-    }
-  }
-
-  ExperimentOutcome outcome;
-  const std::vector<PlayerId> honest = pop.honest_players();
-  outcome.honest_players = honest.size();
-  outcome.error = error_stats(world.matrix, result.outputs, honest);
-  outcome.planted_diameter = world.planted_diameter;
-  outcome.total_probes = result.total_probes;
-  outcome.max_probes = result.max_probes;
-  for (PlayerId p : honest)
-    outcome.honest_max_probes =
-        std::max(outcome.honest_max_probes, result.probes_by_player[p]);
-  outcome.iterations = result.iterations;
-  outcome.honest_leader_reps = honest_leader_reps;
-  outcome.board_reports = board.report_count();
-  outcome.board_vectors = board.vector_count();
-
-  if (config.compute_opt) {
-    const std::size_t group = std::max<std::size_t>(2, config.n / config.budget);
-    outcome.opt = opt_radius(world.matrix, group);
-    const auto errors = hamming_errors(world.matrix, result.outputs, honest);
-    outcome.approx_ratio = worst_approx_ratio(errors, honest, outcome.opt);
-  }
-  outcome.wall_seconds = timer.seconds();
-  return outcome;
+  return run_scenario(config.to_scenario());
 }
 
 }  // namespace colscore

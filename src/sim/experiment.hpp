@@ -1,15 +1,14 @@
-// End-to-end experiment runner: one call builds the world, corrupts the
-// population, runs the chosen algorithm, and measures error/probe metrics.
-// Benches, examples and integration tests all go through this entry point so
-// every reported number is produced the same way.
+// Legacy enum-based experiment API, kept as a thin compatibility shim over
+// the scenario registry (src/sim/registry.hpp). Each enum value maps to a
+// registered entry by name; run_experiment converts the config to a Scenario
+// and delegates to run_scenario. New code — and anything that wants to add
+// workloads, adversaries, or algorithms — should use the registry directly:
+// enums are closed, registries grow by registration.
 #pragma once
 
 #include <string>
 
-#include "src/core/calculate_preferences.hpp"
-#include "src/metrics/error.hpp"
-#include "src/metrics/optimal.hpp"
-#include "src/model/generators.hpp"
+#include "src/sim/registry.hpp"
 
 namespace colscore {
 
@@ -64,26 +63,14 @@ struct ExperimentConfig {
   /// Compute the O(n^2) empirical OPT radius (skip for large sweeps).
   bool compute_opt = true;
 
+  /// Registered scenario name of each enum value.
   static std::string workload_name(WorkloadKind w);
   static std::string adversary_name(AdversaryKind a);
   static std::string algorithm_name(AlgorithmKind a);
-};
 
-struct ExperimentOutcome {
-  ErrorStats error;          // over honest players
-  OptEstimate opt;           // empirical Definition-1 bracket (if computed)
-  double approx_ratio = 0.0; // worst error / opt radius (if computed)
-  std::uint64_t max_probes = 0;
-  std::uint64_t total_probes = 0;
-  std::uint64_t honest_max_probes = 0;
-  std::size_t honest_players = 0;
-  /// Bulletin-board traffic (§8 communication-cost accounting).
-  std::uint64_t board_reports = 0;
-  std::uint64_t board_vectors = 0;
-  std::size_t planted_diameter = 0;
-  std::size_t honest_leader_reps = 0;  // robust runs only
-  double wall_seconds = 0.0;
-  std::vector<IterationInfo> iterations;
+  /// The equivalent registry-level scenario (field-for-field; registered
+  /// defaults are NOT applied, so behaviour matches the historical enums).
+  Scenario to_scenario() const;
 };
 
 /// Builds the world described by `config` (deterministic in config.seed).

@@ -1,0 +1,532 @@
+#include "src/sim/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <unordered_set>
+
+#include "src/baseline/baselines.hpp"
+#include "src/common/assert.hpp"
+#include "src/common/timer.hpp"
+#include "src/core/calculate_preferences.hpp"
+#include "src/protocols/env.hpp"
+
+namespace colscore {
+
+namespace {
+
+// ---- override-value parsing -------------------------------------------------
+
+[[noreturn]] void bad_value(const std::string& key, const std::string& value,
+                            const char* want) {
+  throw ScenarioError("override '" + key + "=" + value + "': expected " + want);
+}
+
+std::uint64_t parse_u64(const std::string& key, const std::string& value) {
+  try {
+    // stoull silently wraps negatives ("-1" -> 2^64-1); reject them up front.
+    if (value.empty() || value[0] == '-')
+      bad_value(key, value, "an unsigned integer");
+    std::size_t used = 0;
+    const std::uint64_t v = std::stoull(value, &used);
+    if (used != value.size()) bad_value(key, value, "an unsigned integer");
+    return v;
+  } catch (const ScenarioError&) {
+    throw;
+  } catch (...) {
+    bad_value(key, value, "an unsigned integer");
+  }
+}
+
+std::size_t parse_size(const std::string& key, const std::string& value) {
+  return static_cast<std::size_t>(parse_u64(key, value));
+}
+
+double parse_double(const std::string& key, const std::string& value) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(value, &used);
+    if (used != value.size()) bad_value(key, value, "a number");
+    return v;
+  } catch (const ScenarioError&) {
+    throw;
+  } catch (...) {
+    bad_value(key, value, "a number");
+  }
+}
+
+bool parse_bool(const std::string& key, const std::string& value) {
+  if (value == "1" || value == "true" || value == "yes") return true;
+  if (value == "0" || value == "false" || value == "no") return false;
+  bad_value(key, value, "a boolean (0/1/true/false)");
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+// ---- override keys ----------------------------------------------------------
+
+struct ParamsDoubleField {
+  const char* key;
+  double Params::*member;
+};
+struct ParamsSizeField {
+  const char* key;
+  std::size_t Params::*member;
+};
+
+constexpr ParamsDoubleField kParamsDoubleFields[] = {
+    {"sample_rate_c", &Params::sample_rate_c},
+    {"sr_diameter_c", &Params::sr_diameter_c},
+    {"sr_subset_scale", &Params::sr_subset_scale},
+    {"sr_subset_exponent", &Params::sr_subset_exponent},
+    {"sr_support_divisor", &Params::sr_support_divisor},
+    {"graph_tau_c", &Params::graph_tau_c},
+    {"graph_tau_sample_frac", &Params::graph_tau_sample_frac},
+    {"cluster_slack", &Params::cluster_slack},
+    {"vote_c", &Params::vote_c},
+    {"rselect_c", &Params::rselect_c},
+    {"easy_case_factor", &Params::easy_case_factor},
+};
+
+constexpr ParamsSizeField kParamsSizeFields[] = {
+    {"sr_repeats", &Params::sr_repeats},
+    {"sr_probes_per_pair", &Params::sr_probes_per_pair},
+    {"sr_prefilter_probes", &Params::sr_prefilter_probes},
+    {"sr_max_finalists", &Params::sr_max_finalists},
+    {"vote_min", &Params::vote_min},
+};
+
+constexpr const char* kCoreKeys[] = {
+    "n",    "budget",    "seed", "diameter", "clusters",
+    "reps", "dishonest", "zipf", "opt",      "paper_params",
+};
+
+/// Applies a core (non-Params) override. Returns false if the key is not a
+/// core key.
+bool apply_core_override(Scenario& sc, const std::string& key,
+                         const std::string& value) {
+  if (key == "n") sc.n = parse_size(key, value);
+  else if (key == "budget") sc.budget = parse_size(key, value);
+  else if (key == "seed") sc.seed = parse_u64(key, value);
+  else if (key == "diameter") sc.diameter = parse_size(key, value);
+  else if (key == "clusters") sc.n_clusters = parse_size(key, value);
+  else if (key == "dishonest") sc.dishonest = parse_size(key, value);
+  else if (key == "reps") sc.robust_outer_reps = parse_size(key, value);
+  else if (key == "zipf") sc.zipf_sizes = parse_bool(key, value);
+  else if (key == "opt") sc.compute_opt = parse_bool(key, value);
+  else if (key == "paper_params") sc.paper_params = parse_bool(key, value);
+  else return false;
+  return true;
+}
+
+/// Applies a Params-field override. Returns false if the key is unknown.
+bool apply_params_override(Params& params, const std::string& key,
+                           const std::string& value) {
+  for (const auto& f : kParamsDoubleFields)
+    if (key == f.key) {
+      params.*(f.member) = parse_double(key, value);
+      return true;
+    }
+  for (const auto& f : kParamsSizeFields)
+    if (key == f.key) {
+      params.*(f.member) = parse_size(key, value);
+      return true;
+    }
+  return false;
+}
+
+bool is_params_key(const std::string& key) {
+  for (const auto& f : kParamsDoubleFields)
+    if (key == f.key) return true;
+  for (const auto& f : kParamsSizeFields)
+    if (key == f.key) return true;
+  return false;
+}
+
+[[noreturn]] void unknown_key(const std::string& key) {
+  std::string msg = "unknown override key '" + key + "'; accepted: ";
+  bool first = true;
+  for (const std::string& k : scenario_override_keys()) {
+    if (!first) msg += ", ";
+    msg += k;
+    first = false;
+  }
+  throw ScenarioError(msg);
+}
+
+// ---- built-in registration --------------------------------------------------
+
+std::size_t derived_clusters(const Scenario& sc) {
+  return sc.n_clusters != 0 ? sc.n_clusters : std::max<std::size_t>(1, sc.budget);
+}
+
+void register_builtin_workloads(WorkloadRegistry& reg) {
+  reg.add("planted",
+          {"planted clusters: random centers, members flip <= diameter/2 bits",
+           [](const Scenario& sc, Rng& rng) {
+             return planted_clusters(sc.n, sc.n, derived_clusters(sc), sc.diameter,
+                                     rng, sc.zipf_sizes);
+           },
+           {}});
+  reg.add("identical",
+          {"identical preferences inside each cluster (ZeroRadius assumption)",
+           [](const Scenario& sc, Rng& rng) {
+             return identical_clusters(sc.n, sc.n, derived_clusters(sc), rng);
+           },
+           {}});
+  reg.add("lower_bound",
+          {"Claim 2 lower-bound instance: pivot + twin set, random on S",
+           [](const Scenario& sc, Rng& rng) {
+             return lower_bound_instance(sc.n, sc.budget, sc.diameter, rng);
+           },
+           {}});
+  reg.add("chained",
+          {"chain of groups, consecutive centers `diameter` bits apart",
+           [](const Scenario& sc, Rng& rng) {
+             const std::size_t links =
+                 sc.n_clusters != 0 ? sc.n_clusters
+                                    : std::max<std::size_t>(2, 2 * sc.budget);
+             return chained_clusters(sc.n, sc.n, links, sc.diameter, rng);
+           },
+           {}});
+  reg.add("uniform",
+          {"no structure: every preference an independent fair coin",
+           [](const Scenario& sc, Rng& rng) { return uniform_random(sc.n, sc.n, rng); },
+           {}});
+  reg.add("two_blocks",
+          {"two taste camps disagreeing on every object",
+           [](const Scenario& sc, Rng& rng) { return two_blocks(sc.n, sc.n, rng); },
+           {}});
+}
+
+void register_builtin_adversaries(AdversaryRegistry& reg) {
+  reg.add("none", {"all players honest", nullptr, {}});
+  reg.add("random_liar",
+          {"reports a coin flip regardless of truth",
+           [](const Scenario&, const World&, PlayerId) {
+             return std::make_unique<RandomLiar>();
+           },
+           {}});
+  reg.add("inverter",
+          {"always reports the opposite of the truth",
+           [](const Scenario&, const World&, PlayerId) {
+             return std::make_unique<Inverter>();
+           },
+           {}});
+  reg.add("constant_one",
+          {"ballot stuffing: claims to like every object",
+           [](const Scenario&, const World&, PlayerId) {
+             return std::make_unique<ConstantReporter>(true);
+           },
+           {}});
+  reg.add("targeted_bias",
+          {"truthful except the first 5% of objects, which it promotes",
+           [](const Scenario&, const World& world, PlayerId) {
+             std::unordered_set<ObjectId> targets;
+             for (ObjectId o = 0;
+                  o < std::max<std::size_t>(1, world.n_objects() / 20); ++o)
+               targets.insert(o);
+             return std::make_unique<TargetedBias>(std::move(targets), true);
+           },
+           {}});
+  reg.add("hijacker",
+          {"mimics the victim during clustering, then inverts its votes",
+           [](const Scenario&, const World& world, PlayerId victim) {
+             return std::make_unique<ClusterHijacker>(world.matrix, victim);
+           },
+           {}});
+  reg.add("sleeper",
+          {"honest until the voting phase, then lies",
+           [](const Scenario&, const World&, PlayerId) {
+             return std::make_unique<Sleeper>();
+           },
+           {}});
+  reg.add("strange_colluder",
+          {"Lemma 13's optimal voting attack on strange objects",
+           [](const Scenario& sc, const World& world, PlayerId) {
+             return std::make_unique<StrangeObjectColluder>(world.matrix,
+                                                            sc.diameter);
+           },
+           {}});
+}
+
+AlgorithmOutput run_with_honest_beacon(
+    const AlgorithmContext& ctx,
+    const std::function<ProtocolResult(ProtocolEnv&)>& body) {
+  HonestBeacon beacon(mix_keys(ctx.scenario.seed, 0xbeacULL));
+  ProtocolEnv env(ctx.oracle, ctx.board, ctx.population, beacon,
+                  mix_keys(ctx.scenario.seed, 0x10ca1ULL));
+  AlgorithmOutput out;
+  out.result = body(env);
+  return out;
+}
+
+void register_builtin_algorithms(AlgorithmRegistry& reg) {
+  reg.add("calculate_preferences",
+          {"Fig. 2 protocol under honest shared randomness (§6)",
+           [](const AlgorithmContext& ctx) {
+             return run_with_honest_beacon(ctx, [&](ProtocolEnv& env) {
+               return calculate_preferences(
+                   env, ctx.params, mix_keys(ctx.scenario.seed, 0xca1cULL));
+             });
+           },
+           {}});
+  reg.add("robust",
+          {"§7 wrapper: leader election + repeated Fig. 2 + final RSelect",
+           [](const AlgorithmContext& ctx) {
+             RobustParams rp;
+             rp.inner = ctx.params;
+             rp.outer_reps = ctx.scenario.robust_outer_reps;
+             RobustResult rr = robust_calculate_preferences(
+                 ctx.oracle, ctx.board, ctx.population, rp,
+                 mix_keys(ctx.scenario.seed, 0x0b57ULL),
+                 mix_keys(ctx.scenario.seed, 0x10ca1ULL));
+             return AlgorithmOutput{std::move(rr.result), rr.honest_leader_reps};
+           },
+           {}});
+  // err/opt is identically 0 for probe_all, so its registered default skips
+  // the O(n^2) empirical OPT computation; spell opt=1 to force it.
+  reg.add("probe_all",
+          {"trivial B = n comparator: every player probes every object",
+           [](const AlgorithmContext& ctx) {
+             return run_with_honest_beacon(
+                 ctx, [&](ProtocolEnv& env) { return probe_all(env); });
+           },
+           {{"opt", "0"}}});
+  reg.add("random_guess",
+          {"zero probes, coin-flip outputs (degenerate comparator)",
+           [](const AlgorithmContext& ctx) {
+             return run_with_honest_beacon(ctx, [&](ProtocolEnv& env) {
+               return random_guess(env, mix_keys(ctx.scenario.seed, 0x99e55ULL));
+             });
+           },
+           {}});
+  reg.add("oracle_clusters",
+          {"genie comparator: work-shares inside the true planted clusters",
+           [](const AlgorithmContext& ctx) {
+             return run_with_honest_beacon(ctx, [&](ProtocolEnv& env) {
+               return oracle_clusters(env, ctx.world);
+             });
+           },
+           {}});
+  reg.add("sample_and_share",
+          {"Alon et al. [2,3] star-neighbourhood baseline (not Byzantine-safe)",
+           [](const AlgorithmContext& ctx) {
+             return run_with_honest_beacon(ctx, [&](ProtocolEnv& env) {
+               SampleShareParams sp;
+               sp.budget = ctx.scenario.budget;
+               sp.seed = mix_keys(ctx.scenario.seed, 0x5a3b1eULL);
+               return sample_and_share(env, sp).result;
+             });
+           },
+           {}});
+  // Historical CLI spellings.
+  reg.alias("calc", "calculate_preferences");
+  reg.alias("oracle", "oracle_clusters");
+  reg.alias("baseline", "sample_and_share");
+}
+
+}  // namespace
+
+// ---- ScenarioSpec -----------------------------------------------------------
+
+ScenarioSpec& ScenarioSpec::set(std::string key, std::string value) {
+  if (key == "workload") workload = std::move(value);
+  else if (key == "adversary") adversary = std::move(value);
+  else if (key == "algorithm") algorithm = std::move(value);
+  else overrides[std::move(key)] = std::move(value);
+  return *this;
+}
+
+ScenarioSpec ScenarioSpec::parse(std::string_view text) {
+  ScenarioSpec spec;
+  std::istringstream in{std::string(text)};
+  std::string token;
+  while (in >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size())
+      throw ScenarioError("malformed scenario token '" + token +
+                          "'; expected key=value");
+    spec.set(token.substr(0, eq), token.substr(eq + 1));
+  }
+  return spec;
+}
+
+std::string ScenarioSpec::to_string() const {
+  std::string out = "workload=" + workload + " adversary=" + adversary +
+                    " algorithm=" + algorithm;
+  for (const auto& [key, value] : overrides) out += " " + key + "=" + value;
+  return out;
+}
+
+std::vector<std::string> scenario_override_keys() {
+  std::vector<std::string> keys;
+  for (const char* k : kCoreKeys) keys.emplace_back(k);
+  for (const auto& f : kParamsDoubleFields) keys.emplace_back(f.key);
+  for (const auto& f : kParamsSizeFields) keys.emplace_back(f.key);
+  return keys;
+}
+
+// ---- Scenario ---------------------------------------------------------------
+
+Scenario Scenario::resolve(const ScenarioSpec& spec) {
+  Scenario sc;
+  sc.workload = WorkloadRegistry::instance().canonical(spec.workload);
+  sc.adversary = AdversaryRegistry::instance().canonical(spec.adversary);
+  sc.algorithm = AlgorithmRegistry::instance().canonical(spec.algorithm);
+
+  // Registered defaults first (workload, adversary, algorithm), user last.
+  std::vector<std::pair<std::string, std::string>> merged;
+  for (const auto& kv : WorkloadRegistry::instance().at(sc.workload).defaults)
+    merged.push_back(kv);
+  for (const auto& kv : AdversaryRegistry::instance().at(sc.adversary).defaults)
+    merged.push_back(kv);
+  for (const auto& kv : AlgorithmRegistry::instance().at(sc.algorithm).defaults)
+    merged.push_back(kv);
+  for (const auto& kv : spec.overrides) merged.push_back(kv);
+
+  // Pass 1: core keys (so `budget` is known before paper_params expands).
+  std::vector<const std::pair<std::string, std::string>*> params_overrides;
+  for (const auto& kv : merged) {
+    if (apply_core_override(sc, kv.first, kv.second)) continue;
+    if (is_params_key(kv.first)) {
+      params_overrides.push_back(&kv);
+      continue;
+    }
+    unknown_key(kv.first);
+  }
+  if (sc.paper_params) sc.params = Params::paper(sc.budget);
+  // Pass 2: Params fields refine whichever preset is active.
+  for (const auto* kv : params_overrides)
+    apply_params_override(sc.params, kv->first, kv->second);
+  return sc;
+}
+
+ScenarioSpec Scenario::to_spec() const {
+  static const Scenario defaults;
+  ScenarioSpec spec;
+  spec.workload = workload;
+  spec.adversary = adversary;
+  spec.algorithm = algorithm;
+  auto set_size = [&](const char* key, std::size_t v, std::size_t dflt) {
+    if (v != dflt) spec.overrides[key] = std::to_string(v);
+  };
+  set_size("n", n, defaults.n);
+  set_size("budget", budget, defaults.budget);
+  if (seed != defaults.seed) spec.overrides["seed"] = std::to_string(seed);
+  set_size("diameter", diameter, defaults.diameter);
+  set_size("clusters", n_clusters, defaults.n_clusters);
+  set_size("dishonest", dishonest, defaults.dishonest);
+  set_size("reps", robust_outer_reps, defaults.robust_outer_reps);
+  if (zipf_sizes != defaults.zipf_sizes) spec.overrides["zipf"] = "1";
+  if (compute_opt != defaults.compute_opt) spec.overrides["opt"] = "0";
+  if (paper_params != defaults.paper_params) spec.overrides["paper_params"] = "1";
+
+  const Params base = paper_params ? Params::paper(budget) : Params{};
+  for (const auto& f : kParamsDoubleFields)
+    if (params.*(f.member) != base.*(f.member))
+      spec.overrides[f.key] = format_double(params.*(f.member));
+  for (const auto& f : kParamsSizeFields)
+    if (params.*(f.member) != base.*(f.member))
+      spec.overrides[f.key] = std::to_string(params.*(f.member));
+  return spec;
+}
+
+// ---- registries -------------------------------------------------------------
+
+WorkloadRegistry& WorkloadRegistry::instance() {
+  static WorkloadRegistry& reg = *[] {
+    auto* r = new WorkloadRegistry();
+    register_builtin_workloads(*r);
+    return r;
+  }();
+  return reg;
+}
+
+AdversaryRegistry& AdversaryRegistry::instance() {
+  static AdversaryRegistry& reg = *[] {
+    auto* r = new AdversaryRegistry();
+    register_builtin_adversaries(*r);
+    return r;
+  }();
+  return reg;
+}
+
+AlgorithmRegistry& AlgorithmRegistry::instance() {
+  static AlgorithmRegistry& reg = *[] {
+    auto* r = new AlgorithmRegistry();
+    register_builtin_algorithms(*r);
+    return r;
+  }();
+  return reg;
+}
+
+// ---- execution --------------------------------------------------------------
+
+World build_scenario_world(const Scenario& scenario) {
+  Rng rng(mix_keys(scenario.seed, 0x0a71dULL));
+  return WorkloadRegistry::instance().at(scenario.workload).make(scenario, rng);
+}
+
+Population build_scenario_population(const Scenario& scenario, const World& world) {
+  Population pop(scenario.n);
+  const AdversaryEntry& entry =
+      AdversaryRegistry::instance().at(scenario.adversary);
+  if (scenario.dishonest == 0 || !entry.make) return pop;
+  Rng rng(mix_keys(scenario.seed, 0xad7e85a47ULL));
+
+  // Hijacker-style attacks need a victim: player 0 is always protected from
+  // corruption so it stays a meaningful target.
+  const PlayerId victim = 0;
+  pop.corrupt_random(
+      std::min(scenario.dishonest, scenario.n - 1), rng,
+      [&]() { return entry.make(scenario, world, victim); }, victim);
+  return pop;
+}
+
+ExperimentOutcome run_scenario(const Scenario& scenario) {
+  Timer timer;
+  const World world = build_scenario_world(scenario);
+  const Population pop = build_scenario_population(scenario, world);
+  ProbeOracle oracle(world.matrix);
+  BulletinBoard board;
+
+  Params params = scenario.params;
+  params.budget = scenario.budget;
+
+  const AlgorithmContext ctx{scenario, world, oracle, board, pop, params};
+  AlgorithmOutput algo =
+      AlgorithmRegistry::instance().at(scenario.algorithm).run(ctx);
+  ProtocolResult& result = algo.result;
+
+  ExperimentOutcome outcome;
+  const std::vector<PlayerId> honest = pop.honest_players();
+  outcome.honest_players = honest.size();
+  outcome.error = error_stats(world.matrix, result.outputs, honest);
+  outcome.planted_diameter = world.planted_diameter;
+  outcome.total_probes = result.total_probes;
+  outcome.max_probes = result.max_probes;
+  for (PlayerId p : honest)
+    outcome.honest_max_probes =
+        std::max(outcome.honest_max_probes, result.probes_by_player[p]);
+  outcome.iterations = result.iterations;
+  outcome.honest_leader_reps = algo.honest_leader_reps;
+  outcome.board_reports = board.report_count();
+  outcome.board_vectors = board.vector_count();
+
+  if (scenario.compute_opt) {
+    const std::size_t group =
+        std::max<std::size_t>(2, scenario.n / scenario.budget);
+    outcome.opt = opt_radius(world.matrix, group);
+    const auto errors = hamming_errors(world.matrix, result.outputs, honest);
+    outcome.approx_ratio = worst_approx_ratio(errors, honest, outcome.opt);
+  }
+  outcome.wall_seconds = timer.seconds();
+  return outcome;
+}
+
+}  // namespace colscore

@@ -1,0 +1,312 @@
+// The scenario registry: the open, string-keyed experiment surface.
+//
+// Every experiment is a (workload, adversary, algorithm) triple plus numeric
+// knobs. Each of the three dimensions is a registry mapping a name to a
+// factory, a one-line description, and optional default overrides — so a new
+// workload, attack, or algorithm is added by *registration*, never by editing
+// an enum or a switch statement:
+//
+//   WorkloadRegistry::instance().add("ring", {
+//       "ring of overlapping taste groups",
+//       [](const Scenario& sc, Rng& rng) { return make_ring(sc.n, rng); }});
+//
+// A `ScenarioSpec` is the declarative form ("workload=planted n=512
+// dishonest=20"): three names plus key=value overrides, round-trippable
+// through parse()/to_string(). `Scenario::resolve()` validates the names,
+// applies registered defaults then user overrides, and yields the numeric
+// config that `run_scenario()` executes. The legacy enum API in
+// src/sim/experiment.hpp is a thin compatibility shim over these entry
+// points.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/board/bulletin_board.hpp"
+#include "src/board/probe_oracle.hpp"
+#include "src/core/params.hpp"
+#include "src/core/result.hpp"
+#include "src/metrics/error.hpp"
+#include "src/metrics/optimal.hpp"
+#include "src/model/generators.hpp"
+#include "src/model/population.hpp"
+
+namespace colscore {
+
+/// Thrown for unknown names, malformed specs, and bad override values. The
+/// message always names the offending token and lists the accepted ones.
+class ScenarioError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+struct Scenario;
+
+/// Declarative scenario description: registry names plus key=value overrides.
+/// `parse(to_string(spec)) == spec` for every spec.
+struct ScenarioSpec {
+  std::string workload = "planted";
+  std::string adversary = "none";
+  std::string algorithm = "calculate_preferences";
+  /// Override keys are validated at resolve() time (see Scenario) so specs
+  /// can carry keys for entries registered later.
+  std::map<std::string, std::string, std::less<>> overrides;
+
+  ScenarioSpec& set(std::string key, std::string value);
+
+  /// Parses "workload=planted adversary=sleeper n=512 dishonest=20"
+  /// (whitespace-separated key=value tokens, in any order). Throws
+  /// ScenarioError on malformed tokens.
+  static ScenarioSpec parse(std::string_view text);
+  std::string to_string() const;
+
+  bool operator==(const ScenarioSpec&) const = default;
+};
+
+/// Resolved, ready-to-run scenario: the numeric configuration after registry
+/// defaults and spec overrides are applied. Field defaults mirror the legacy
+/// ExperimentConfig so directly-constructed scenarios behave identically.
+struct Scenario {
+  std::string workload = "planted";
+  std::string adversary = "none";
+  std::string algorithm = "calculate_preferences";
+
+  std::size_t n = 256;
+  std::size_t budget = 8;
+  std::uint64_t seed = 1;
+  /// Planted intra-cluster diameter (or chain step for chained workloads).
+  std::size_t diameter = 16;
+  /// 0 = derive: budget clusters of size ~n/budget (chained: 2*budget links).
+  std::size_t n_clusters = 0;
+  bool zipf_sizes = false;
+  /// Number of dishonest players (paper tolerance: n/(3B)).
+  std::size_t dishonest = 0;
+  std::size_t robust_outer_reps = 3;
+  /// Compute the O(n^2) empirical OPT radius (skip for large sweeps).
+  bool compute_opt = true;
+  bool paper_params = false;
+  Params params;  // params.budget is synced to `budget` at run time
+
+  /// Validates the three names against the registries (aliases accepted,
+  /// stored canonically) and applies, in order: workload defaults, adversary
+  /// defaults, algorithm defaults, then spec.overrides. Unknown names or
+  /// override keys throw ScenarioError listing the accepted ones.
+  static Scenario resolve(const ScenarioSpec& spec);
+
+  /// The spec that resolves back to this scenario (canonical names, every
+  /// non-default knob spelled out).
+  ScenarioSpec to_spec() const;
+};
+
+/// The override keys accepted by Scenario::resolve, for error messages and
+/// docs: n, budget, seed, diameter, clusters, dishonest, reps, zipf, opt,
+/// paper_params, plus the Params fields (sample_rate_c, vote_c, ...).
+std::vector<std::string> scenario_override_keys();
+
+// ---- registry entries -------------------------------------------------------
+
+struct WorkloadEntry {
+  std::string description;
+  /// Builds the hidden world. `rng` is pre-seeded from the scenario seed.
+  std::function<World(const Scenario&, Rng&)> make;
+  /// Default spec overrides applied before the user's (user wins).
+  std::vector<std::pair<std::string, std::string>> defaults;
+};
+
+struct AdversaryEntry {
+  std::string description;
+  /// Creates one dishonest player's behaviour. `victim` is the stable honest
+  /// target (player 0, protected from corruption). Null = no corruption
+  /// (the "none" entry).
+  std::function<std::unique_ptr<Behavior>(const Scenario&, const World&,
+                                          PlayerId victim)>
+      make;
+  std::vector<std::pair<std::string, std::string>> defaults;
+};
+
+/// Everything an algorithm needs to run one scenario.
+struct AlgorithmContext {
+  const Scenario& scenario;
+  const World& world;
+  ProbeOracle& oracle;
+  BulletinBoard& board;
+  const Population& population;
+  /// scenario.params with params.budget synced to scenario.budget.
+  const Params& params;
+};
+
+struct AlgorithmOutput {
+  ProtocolResult result;
+  std::size_t honest_leader_reps = 0;  // robust-style algorithms only
+};
+
+struct AlgorithmEntry {
+  std::string description;
+  std::function<AlgorithmOutput(const AlgorithmContext&)> run;
+  std::vector<std::pair<std::string, std::string>> defaults;
+};
+
+// ---- registries -------------------------------------------------------------
+
+/// Name -> entry map with alias support. Thread-safe for concurrent lookup;
+/// registration is expected at startup (static init or main) but is also
+/// guarded. `at()` returns a stable reference (node-based storage).
+template <typename Entry>
+class Registry {
+ public:
+  explicit Registry(std::string kind) : kind_(std::move(kind)) {}
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Registers (or replaces) an entry. Names are lowercase identifiers.
+  void add(std::string name, Entry entry) {
+    validate_name(name);
+    std::lock_guard lock(mutex_);
+    entries_[std::move(name)] = std::move(entry);
+  }
+
+  /// Registers `name` as an alternative spelling of `target`.
+  void alias(std::string name, std::string target) {
+    validate_name(name);
+    std::lock_guard lock(mutex_);
+    if (!entries_.contains(target))
+      throw ScenarioError(kind_ + " alias '" + name + "' targets unknown '" +
+                          target + "'");
+    aliases_[std::move(name)] = std::move(target);
+  }
+
+  bool contains(std::string_view name) const {
+    std::lock_guard lock(mutex_);
+    return entries_.find(name) != entries_.end() ||
+           aliases_.find(name) != aliases_.end();
+  }
+
+  /// Canonical name for `name` (resolving aliases); throws if unknown.
+  std::string canonical(std::string_view name) const {
+    std::lock_guard lock(mutex_);
+    if (auto a = aliases_.find(name); a != aliases_.end()) return a->second;
+    if (entries_.find(name) != entries_.end()) return std::string(name);
+    throw unknown(name);
+  }
+
+  /// Entry for `name` (aliases resolved); throws a ScenarioError naming the
+  /// registered alternatives if unknown.
+  const Entry& at(std::string_view name) const {
+    std::lock_guard lock(mutex_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) {
+      if (auto a = aliases_.find(name); a != aliases_.end())
+        it = entries_.find(a->second);
+    }
+    if (it == entries_.end()) throw unknown(name);
+    return it->second;
+  }
+
+  /// Canonical names, sorted.
+  std::vector<std::string> names() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) out.push_back(name);
+    return out;
+  }
+
+  /// (name, description) pairs, sorted by name — for --list-* output.
+  std::vector<std::pair<std::string, std::string>> descriptions() const {
+    std::lock_guard lock(mutex_);
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_)
+      out.emplace_back(name, entry.description);
+    return out;
+  }
+
+ private:
+  ScenarioError unknown(std::string_view name) const {
+    std::string msg = "unknown " + kind_ + " '" + std::string(name) +
+                      "'; registered: ";
+    bool first = true;
+    for (const auto& [known, entry] : entries_) {
+      if (!first) msg += ", ";
+      msg += known;
+      first = false;
+    }
+    return ScenarioError(msg);
+  }
+
+  void validate_name(const std::string& name) const {
+    if (name.empty()) throw ScenarioError(kind_ + " name must not be empty");
+    for (char c : name)
+      if (c == '=' || c == ',' || c == ' ' || c == '\t' || c == '\n')
+        throw ScenarioError(kind_ + " name '" + name +
+                            "' must not contain '=', ',' or whitespace");
+  }
+
+  std::string kind_;
+  mutable std::mutex mutex_;
+  std::map<std::string, Entry, std::less<>> entries_;
+  std::map<std::string, std::string, std::less<>> aliases_;
+};
+
+/// The three singleton registries. First use registers the built-in entries
+/// (every legacy enum value plus its historical CLI aliases).
+class WorkloadRegistry : public Registry<WorkloadEntry> {
+ public:
+  static WorkloadRegistry& instance();
+
+ private:
+  WorkloadRegistry() : Registry("workload") {}
+};
+
+class AdversaryRegistry : public Registry<AdversaryEntry> {
+ public:
+  static AdversaryRegistry& instance();
+
+ private:
+  AdversaryRegistry() : Registry("adversary") {}
+};
+
+class AlgorithmRegistry : public Registry<AlgorithmEntry> {
+ public:
+  static AlgorithmRegistry& instance();
+
+ private:
+  AlgorithmRegistry() : Registry("algorithm") {}
+};
+
+// ---- execution --------------------------------------------------------------
+
+struct ExperimentOutcome {
+  ErrorStats error;          // over honest players
+  OptEstimate opt;           // empirical Definition-1 bracket (if computed)
+  double approx_ratio = 0.0; // worst error / opt radius (if computed)
+  std::uint64_t max_probes = 0;
+  std::uint64_t total_probes = 0;
+  std::uint64_t honest_max_probes = 0;
+  std::size_t honest_players = 0;
+  /// Bulletin-board traffic (§8 communication-cost accounting).
+  std::uint64_t board_reports = 0;
+  std::uint64_t board_vectors = 0;
+  std::size_t planted_diameter = 0;
+  std::size_t honest_leader_reps = 0;  // robust runs only
+  double wall_seconds = 0.0;
+  std::vector<IterationInfo> iterations;
+};
+
+/// Builds the world for `scenario` (deterministic in scenario.seed).
+World build_scenario_world(const Scenario& scenario);
+
+/// Installs the scenario's adversaries into a fresh population.
+Population build_scenario_population(const Scenario& scenario, const World& world);
+
+/// Runs one scenario end-to-end: world, population, algorithm, metrics.
+ExperimentOutcome run_scenario(const Scenario& scenario);
+
+}  // namespace colscore

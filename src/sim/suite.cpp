@@ -1,0 +1,155 @@
+#include "src/sim/suite.hpp"
+
+#include <mutex>
+#include <sstream>
+
+#include "src/common/thread_pool.hpp"
+
+namespace colscore {
+
+// ---- grid sweeps ------------------------------------------------------------
+
+std::vector<GridAxis> parse_grid(std::string_view text) {
+  std::vector<GridAxis> axes;
+  std::istringstream in{std::string(text)};
+  std::string token;
+  while (in >> token) {
+    if (token == "x" || token == "X") continue;  // axis separator
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size())
+      throw ScenarioError("malformed grid axis '" + token +
+                          "'; expected key=v1,v2,...");
+    GridAxis axis;
+    axis.key = token.substr(0, eq);
+    for (const GridAxis& seen : axes)
+      if (seen.key == axis.key)
+        throw ScenarioError("grid axis '" + axis.key + "' appears twice");
+    std::stringstream values(token.substr(eq + 1));
+    std::string value;
+    while (std::getline(values, value, ','))
+      if (!value.empty()) axis.values.push_back(value);
+    if (axis.values.empty())
+      throw ScenarioError("grid axis '" + axis.key + "' has no values");
+    axes.push_back(std::move(axis));
+  }
+  return axes;
+}
+
+std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base,
+                                      const std::vector<GridAxis>& axes) {
+  std::vector<ScenarioSpec> specs{base};
+  for (const GridAxis& axis : axes) {
+    std::vector<ScenarioSpec> next;
+    next.reserve(specs.size() * axis.values.size());
+    for (const ScenarioSpec& spec : specs)
+      for (const std::string& value : axis.values) {
+        ScenarioSpec expanded = spec;
+        expanded.set(axis.key, value);
+        next.push_back(std::move(expanded));
+      }
+    specs = std::move(next);
+  }
+  return specs;
+}
+
+// ---- the runner -------------------------------------------------------------
+
+SuiteRunner::SuiteRunner(SuiteOptions options) : options_(std::move(options)) {}
+
+std::vector<SuiteRun> SuiteRunner::run(const std::vector<ScenarioSpec>& specs) const {
+  // Resolve everything first: name/key errors surface before any run starts,
+  // and seed derivation depends only on the (deterministic) expansion index.
+  std::vector<SuiteRun> runs(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    runs[i].index = i;
+    runs[i].spec = specs[i];
+    runs[i].scenario = Scenario::resolve(specs[i]);
+    if (options_.derive_seeds)
+      runs[i].scenario.seed =
+          mix_keys(options_.seed_salt, i, runs[i].scenario.seed);
+  }
+
+  // Ordered streaming: a completed run is emitted once every earlier run has
+  // been emitted, so callback order never depends on scheduling.
+  std::mutex emit_mutex;
+  std::vector<bool> done(runs.size(), false);
+  std::size_t next_emit = 0;
+  auto complete = [&](std::size_t i) {
+    if (!options_.on_result) return;
+    std::lock_guard lock(emit_mutex);
+    done[i] = true;
+    while (next_emit < runs.size() && done[next_emit]) {
+      options_.on_result(runs[next_emit]);
+      ++next_emit;
+    }
+  };
+
+  auto body = [&](std::size_t i) {
+    runs[i].outcome = run_scenario(runs[i].scenario);
+    complete(i);
+  };
+
+  if (options_.threads == 1) {
+    for (std::size_t i = 0; i < runs.size(); ++i) body(i);
+  } else if (options_.threads == 0) {
+    ThreadPool::global().parallel_for(0, runs.size(), body, /*grain=*/1);
+  } else {
+    ThreadPool pool(options_.threads);
+    pool.parallel_for(0, runs.size(), body, /*grain=*/1);
+  }
+  return runs;
+}
+
+std::vector<SuiteRun> SuiteRunner::run_grid(const ScenarioSpec& base,
+                                            std::string_view grid) const {
+  return run(expand_grid(base, parse_grid(grid)));
+}
+
+// ---- CSV --------------------------------------------------------------------
+
+std::vector<std::string> suite_csv_columns(bool include_wall) {
+  std::vector<std::string> columns{
+      "workload",   "algorithm",  "adversary",    "n",
+      "budget",     "diameter",   "dishonest",    "seed",
+      "max_err",    "mean_err",   "max_probes",   "honest_max_probes",
+      "total_probes", "board_reports", "err_over_opt"};
+  if (include_wall) columns.push_back("wall_s");
+  return columns;
+}
+
+void suite_csv_row(CsvWriter& writer, const SuiteRun& run, bool include_wall) {
+  const Scenario& sc = run.scenario;
+  const ExperimentOutcome& out = run.outcome;
+  std::vector<std::string> cells{
+      sc.workload,
+      sc.algorithm,
+      sc.adversary,
+      std::to_string(sc.n),
+      std::to_string(sc.budget),
+      std::to_string(sc.diameter),
+      std::to_string(sc.dishonest),
+      std::to_string(sc.seed),
+      std::to_string(out.error.max_error),
+      [&] {
+        std::ostringstream os;
+        os << out.error.mean_error;
+        return os.str();
+      }(),
+      std::to_string(out.max_probes),
+      std::to_string(out.honest_max_probes),
+      std::to_string(out.total_probes),
+      std::to_string(out.board_reports),
+      [&] {
+        std::ostringstream os;
+        os << out.approx_ratio;
+        return os.str();
+      }()};
+  if (include_wall) {
+    std::ostringstream os;
+    os << out.wall_seconds;
+    cells.push_back(os.str());
+  }
+  writer.row(cells);  // CsvWriter asserts the width against its header
+}
+
+}  // namespace colscore

@@ -1,0 +1,94 @@
+// SuiteRunner: grid expansion + parallel, deterministic scenario execution.
+//
+// A grid like "n=256,512 x adversary=hijacker,sleeper" expands (cartesian
+// product, last axis fastest) into a list of ScenarioSpecs over a base spec.
+// The runner resolves every spec up front, derives a per-run seed from the
+// run *index* (mix_keys-style — never from thread identity or completion
+// order), and executes the runs on a thread pool. Results stream through an
+// optional callback in run-index order, so a parallel suite produces output
+// byte-identical to a serial one.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/csv.hpp"
+#include "src/sim/registry.hpp"
+
+namespace colscore {
+
+// ---- grid sweeps ------------------------------------------------------------
+
+/// One sweep axis: an override key (or workload/adversary/algorithm) and the
+/// values it takes.
+struct GridAxis {
+  std::string key;
+  std::vector<std::string> values;
+
+  bool operator==(const GridAxis&) const = default;
+};
+
+/// Parses "n=256,512 x adversary=hijacker,sleeper" — whitespace-separated
+/// `key=v1,v2,...` tokens, optionally separated by a literal `x`. Throws
+/// ScenarioError on malformed tokens, empty value lists, or repeated keys.
+std::vector<GridAxis> parse_grid(std::string_view text);
+
+/// Cartesian product of the axes over `base` (later axes vary fastest).
+/// An empty axis list yields just `base`.
+std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base,
+                                      const std::vector<GridAxis>& axes);
+
+// ---- the runner -------------------------------------------------------------
+
+struct SuiteRun {
+  std::size_t index = 0;   // position in the expanded scenario list
+  ScenarioSpec spec;       // as expanded (before seed derivation)
+  Scenario scenario;       // resolved config the run actually executed
+  ExperimentOutcome outcome;
+};
+
+struct SuiteOptions {
+  /// Worker threads for the suite loop. 0 = the global pool (one thread per
+  /// hardware thread); 1 = fully serial in the calling thread.
+  std::size_t threads = 0;
+  /// Per-run seeds are mix_keys(seed_salt, index, spec seed): deterministic,
+  /// schedule-independent, and distinct across grid cells even when the
+  /// cells' specs share a seed. Set derive_seeds=false to run each spec's
+  /// seed untouched (single runs, reproduction of a specific cell).
+  std::uint64_t seed_salt = 0x5c3a01u;
+  bool derive_seeds = true;
+  /// Invoked once per completed run, always in run-index order (a run's
+  /// callback fires as soon as it and every earlier run have finished).
+  std::function<void(const SuiteRun&)> on_result;
+};
+
+class SuiteRunner {
+ public:
+  explicit SuiteRunner(SuiteOptions options = {});
+
+  /// Runs every spec; returns results indexed like `specs`. Resolution
+  /// errors (unknown names/keys) throw before any run starts.
+  std::vector<SuiteRun> run(const std::vector<ScenarioSpec>& specs) const;
+
+  /// Convenience: parse_grid + expand_grid + run.
+  std::vector<SuiteRun> run_grid(const ScenarioSpec& base,
+                                 std::string_view grid) const;
+
+ private:
+  SuiteOptions options_;
+};
+
+// ---- CSV --------------------------------------------------------------------
+
+/// Column set shared by the CLI and tests. Wall time is excluded by default
+/// so suite CSVs are bit-for-bit reproducible.
+std::vector<std::string> suite_csv_columns(bool include_wall = false);
+
+/// Appends one row for `run` (column order matches suite_csv_columns).
+void suite_csv_row(CsvWriter& writer, const SuiteRun& run,
+                   bool include_wall = false);
+
+}  // namespace colscore

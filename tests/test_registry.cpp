@@ -1,0 +1,195 @@
+// Scenario-registry coverage: legacy enums resolve to registered entries,
+// specs round-trip, errors are actionable, and new entries integrate without
+// touching src/sim/experiment.hpp.
+#include "src/sim/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "src/sim/experiment.hpp"
+
+namespace colscore {
+namespace {
+
+TEST(Registry, EveryLegacyWorkloadIsRegistered) {
+  for (WorkloadKind w :
+       {WorkloadKind::kPlantedClusters, WorkloadKind::kIdenticalClusters,
+        WorkloadKind::kLowerBound, WorkloadKind::kChained,
+        WorkloadKind::kUniformRandom, WorkloadKind::kTwoBlocks}) {
+    const std::string name = ExperimentConfig::workload_name(w);
+    EXPECT_TRUE(WorkloadRegistry::instance().contains(name)) << name;
+    EXPECT_FALSE(WorkloadRegistry::instance().at(name).description.empty());
+  }
+}
+
+TEST(Registry, EveryLegacyAdversaryIsRegistered) {
+  for (AdversaryKind a :
+       {AdversaryKind::kNone, AdversaryKind::kRandomLiar, AdversaryKind::kInverter,
+        AdversaryKind::kConstantOne, AdversaryKind::kTargetedBias,
+        AdversaryKind::kHijacker, AdversaryKind::kSleeper,
+        AdversaryKind::kStrangeColluder}) {
+    const std::string name = ExperimentConfig::adversary_name(a);
+    EXPECT_TRUE(AdversaryRegistry::instance().contains(name)) << name;
+  }
+}
+
+TEST(Registry, EveryLegacyAlgorithmIsRegistered) {
+  for (AlgorithmKind a :
+       {AlgorithmKind::kCalculatePreferences, AlgorithmKind::kRobust,
+        AlgorithmKind::kProbeAll, AlgorithmKind::kRandomGuess,
+        AlgorithmKind::kOracleClusters, AlgorithmKind::kSampleAndShare}) {
+    const std::string name = ExperimentConfig::algorithm_name(a);
+    EXPECT_TRUE(AlgorithmRegistry::instance().contains(name)) << name;
+  }
+}
+
+TEST(Registry, HistoricalAliasesResolve) {
+  EXPECT_EQ(AlgorithmRegistry::instance().canonical("calc"),
+            "calculate_preferences");
+  EXPECT_EQ(AlgorithmRegistry::instance().canonical("oracle"), "oracle_clusters");
+  EXPECT_EQ(AlgorithmRegistry::instance().canonical("baseline"),
+            "sample_and_share");
+}
+
+TEST(Registry, UnknownNamesProduceActionableErrors) {
+  try {
+    (void)WorkloadRegistry::instance().at("martian");
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown workload 'martian'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("planted"), std::string::npos) << msg;  // lists options
+  }
+}
+
+TEST(ScenarioSpec, ParseToStringRoundTrips) {
+  ScenarioSpec spec;
+  spec.workload = "chained";
+  spec.adversary = "sleeper";
+  spec.algorithm = "robust";
+  spec.set("n", "512").set("dishonest", "20").set("vote_min", "11");
+  EXPECT_EQ(ScenarioSpec::parse(spec.to_string()), spec);
+
+  const ScenarioSpec defaults;  // no overrides at all
+  EXPECT_EQ(ScenarioSpec::parse(defaults.to_string()), defaults);
+}
+
+TEST(ScenarioSpec, ParseRejectsMalformedTokens) {
+  EXPECT_THROW(ScenarioSpec::parse("n512"), ScenarioError);
+  EXPECT_THROW(ScenarioSpec::parse("n="), ScenarioError);
+  EXPECT_THROW(ScenarioSpec::parse("=512"), ScenarioError);
+}
+
+TEST(Scenario, ResolveAppliesOverrides) {
+  const Scenario sc = Scenario::resolve(ScenarioSpec::parse(
+      "workload=identical adversary=inverter algorithm=calc n=96 budget=4 "
+      "dishonest=7 seed=5 zipf=1 opt=0 vote_min=11 sample_rate_c=8.5"));
+  EXPECT_EQ(sc.workload, "identical");
+  EXPECT_EQ(sc.adversary, "inverter");
+  EXPECT_EQ(sc.algorithm, "calculate_preferences");  // alias canonicalized
+  EXPECT_EQ(sc.n, 96u);
+  EXPECT_EQ(sc.budget, 4u);
+  EXPECT_EQ(sc.dishonest, 7u);
+  EXPECT_EQ(sc.seed, 5u);
+  EXPECT_TRUE(sc.zipf_sizes);
+  EXPECT_FALSE(sc.compute_opt);
+  EXPECT_EQ(sc.params.vote_min, 11u);
+  EXPECT_DOUBLE_EQ(sc.params.sample_rate_c, 8.5);
+}
+
+TEST(Scenario, ResolveRejectsUnknownOverrideKeys) {
+  try {
+    (void)Scenario::resolve(ScenarioSpec::parse("frobnicate=3"));
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown override key 'frobnicate'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("budget"), std::string::npos) << msg;  // lists keys
+  }
+}
+
+TEST(Scenario, ResolveRejectsBadValues) {
+  EXPECT_THROW(Scenario::resolve(ScenarioSpec::parse("n=abc")), ScenarioError);
+  EXPECT_THROW(Scenario::resolve(ScenarioSpec::parse("n=12x")), ScenarioError);
+  EXPECT_THROW(Scenario::resolve(ScenarioSpec::parse("zipf=maybe")),
+               ScenarioError);
+}
+
+TEST(Scenario, PaperParamsExpandThenRefine) {
+  const Scenario sc = Scenario::resolve(
+      ScenarioSpec::parse("paper_params=1 budget=4 vote_min=13"));
+  const Params paper = Params::paper(4);
+  EXPECT_DOUBLE_EQ(sc.params.sr_subset_exponent, paper.sr_subset_exponent);
+  EXPECT_EQ(sc.params.vote_min, 13u);  // field override wins over the preset
+}
+
+TEST(Scenario, RegisteredDefaultsApplyAndUserWins) {
+  // probe_all registers opt=0 as a default override.
+  EXPECT_FALSE(
+      Scenario::resolve(ScenarioSpec::parse("algorithm=probe_all")).compute_opt);
+  EXPECT_TRUE(Scenario::resolve(ScenarioSpec::parse("algorithm=probe_all opt=1"))
+                  .compute_opt);
+}
+
+TEST(Scenario, ToSpecRoundTripsThroughResolve) {
+  Scenario sc;
+  sc.workload = "chained";
+  sc.adversary = "hijacker";
+  sc.algorithm = "robust";
+  sc.n = 80;
+  sc.budget = 4;
+  sc.seed = 123;
+  sc.dishonest = 6;
+  sc.compute_opt = false;
+  sc.params.vote_min = 15;
+  const Scenario back = Scenario::resolve(sc.to_spec());
+  EXPECT_EQ(back.workload, sc.workload);
+  EXPECT_EQ(back.adversary, sc.adversary);
+  EXPECT_EQ(back.algorithm, sc.algorithm);
+  EXPECT_EQ(back.n, sc.n);
+  EXPECT_EQ(back.budget, sc.budget);
+  EXPECT_EQ(back.seed, sc.seed);
+  EXPECT_EQ(back.dishonest, sc.dishonest);
+  EXPECT_EQ(back.compute_opt, sc.compute_opt);
+  EXPECT_EQ(back.params.vote_min, sc.params.vote_min);
+}
+
+TEST(Scenario, CompatShimMatchesRegistryPath) {
+  ExperimentConfig config;
+  config.n = 64;
+  config.budget = 4;
+  config.diameter = 8;
+  config.seed = 17;
+  config.adversary = AdversaryKind::kSleeper;
+  config.dishonest = 5;
+  config.compute_opt = false;
+
+  const ExperimentOutcome legacy = run_experiment(config);
+  const ExperimentOutcome direct = run_scenario(Scenario::resolve(
+      ScenarioSpec::parse("adversary=sleeper n=64 budget=4 diameter=8 seed=17 "
+                          "dishonest=5 opt=0")));
+  EXPECT_EQ(legacy.error.max_error, direct.error.max_error);
+  EXPECT_EQ(legacy.error.mean_error, direct.error.mean_error);
+  EXPECT_EQ(legacy.total_probes, direct.total_probes);
+  EXPECT_EQ(legacy.max_probes, direct.max_probes);
+  EXPECT_EQ(legacy.board_reports, direct.board_reports);
+}
+
+TEST(Registry, NewAdversaryRunsEndToEndWithoutEnumChanges) {
+  // The acceptance demo: registration alone makes a new attack runnable.
+  AdversaryRegistry::instance().add(
+      "pessimist", {"claims to dislike every object (test-only)",
+                    [](const Scenario&, const World&, PlayerId) {
+                      return std::make_unique<ConstantReporter>(false);
+                    }});
+  EXPECT_TRUE(AdversaryRegistry::instance().contains("pessimist"));
+
+  const ExperimentOutcome out = run_scenario(Scenario::resolve(
+      ScenarioSpec::parse("adversary=pessimist n=64 budget=4 dishonest=6 "
+                          "seed=3 opt=0")));
+  EXPECT_EQ(out.honest_players, 58u);
+  EXPECT_LE(out.error.max_error, 64u);
+}
+
+}  // namespace
+}  // namespace colscore

@@ -1,24 +1,28 @@
-// colscore_cli — run any experiment configuration from the command line.
+// colscore_cli — run any registered scenario (or grid of scenarios) from the
+// command line. Workloads, adversaries, and algorithms are looked up in the
+// scenario registries, so anything registered — including entries added by
+// downstream code — is runnable here without touching this file.
 //
 // Examples:
+//   colscore_cli --list-algorithms
 //   colscore_cli --n 512 --budget 8 --diameter 16
 //   colscore_cli --workload chained --algorithm sample_and_share
 //   colscore_cli --adversary hijacker --dishonest 10 --algorithm robust
-//   colscore_cli --sweep diameter --values 4,8,16,32 --csv
+//   colscore_cli --scenario "workload=planted n=512 dishonest=20"
+//   colscore_cli --grid "n=256,512 x adversary=hijacker,sleeper" --csv
 //
-// With --csv the tool prints one machine-readable row per run; otherwise a
-// human-readable report.
+// With --csv the tool prints one machine-readable row per run (streamed in
+// grid order as runs complete); otherwise a human-readable report.
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <iostream>
-#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/common/csv.hpp"
-#include "src/sim/experiment.hpp"
+#include "src/sim/registry.hpp"
+#include "src/sim/suite.hpp"
 
 namespace colscore {
 namespace {
@@ -26,85 +30,67 @@ namespace {
 [[noreturn]] void usage(const char* argv0) {
   std::printf(
       "usage: %s [options]\n"
+      "scenario (names come from the registries; see --list-*):\n"
+      "  --workload W        e.g. planted|identical|lower_bound|chained|uniform|two_blocks\n"
+      "  --algorithm A       e.g. calculate_preferences|robust|probe_all|random_guess|\n"
+      "                      oracle_clusters|sample_and_share (aliases: calc, oracle, baseline)\n"
+      "  --adversary X       e.g. none|random_liar|inverter|constant_one|targeted_bias|\n"
+      "                      hijacker|sleeper|strange_colluder\n"
+      "  --scenario SPEC     full spec string, e.g. \"workload=chained n=512 dishonest=20\"\n"
+      "  --set key=value     any scenario override (repeatable)\n"
+      "knob shorthands (sugar for --set):\n"
       "  --n N               players == objects (default 256)\n"
       "  --budget B          reference probe budget (default 8)\n"
       "  --diameter D        planted cluster diameter / chain step (default 16)\n"
       "  --clusters K        planted cluster count (default: budget)\n"
       "  --seed S            RNG seed (default 1)\n"
-      "  --workload W        planted|identical|lower_bound|chained|uniform|two_blocks\n"
-      "  --algorithm A       calc|robust|probe_all|random_guess|oracle|baseline\n"
-      "  --adversary X       none|random_liar|inverter|constant_one|targeted_bias|\n"
-      "                      hijacker|sleeper|strange_colluder\n"
       "  --dishonest M       number of dishonest players (default 0)\n"
       "  --reps R            robust outer repetitions (default 3)\n"
       "  --paper-params      use the paper's literal constants\n"
       "  --no-opt            skip the O(n^2) empirical OPT computation\n"
-      "  --sweep FIELD       sweep one field: n|budget|diameter|dishonest\n"
-      "  --values a,b,c      sweep values\n"
-      "  --csv               machine-readable output\n",
+      "sweeps:\n"
+      "  --grid AXES         cartesian sweep, e.g. \"n=256,512 x adversary=hijacker,sleeper\"\n"
+      "  --threads T         suite worker threads (default: hardware; 1 = serial)\n"
+      "  --raw-seeds         do not derive per-run seeds from the grid index\n"
+      "output:\n"
+      "  --csv               machine-readable output (one row per run)\n"
+      "  --list-workloads    print registered workloads and exit\n"
+      "  --list-adversaries  print registered adversaries and exit\n"
+      "  --list-algorithms   print registered algorithms and exit\n",
       argv0);
   std::exit(2);
 }
 
-std::optional<WorkloadKind> parse_workload(const std::string& w) {
-  if (w == "planted") return WorkloadKind::kPlantedClusters;
-  if (w == "identical") return WorkloadKind::kIdenticalClusters;
-  if (w == "lower_bound") return WorkloadKind::kLowerBound;
-  if (w == "chained") return WorkloadKind::kChained;
-  if (w == "uniform") return WorkloadKind::kUniformRandom;
-  if (w == "two_blocks") return WorkloadKind::kTwoBlocks;
-  return std::nullopt;
+void print_registry(const char* kind,
+                    const std::vector<std::pair<std::string, std::string>>& entries) {
+  std::printf("%s:\n", kind);
+  std::size_t width = 0;
+  for (const auto& [name, description] : entries)
+    width = std::max(width, name.size());
+  for (const auto& [name, description] : entries)
+    std::printf("  %-*s  %s\n", static_cast<int>(width), name.c_str(),
+                description.c_str());
 }
 
-std::optional<AlgorithmKind> parse_algorithm(const std::string& a) {
-  if (a == "calc") return AlgorithmKind::kCalculatePreferences;
-  if (a == "robust") return AlgorithmKind::kRobust;
-  if (a == "probe_all") return AlgorithmKind::kProbeAll;
-  if (a == "random_guess") return AlgorithmKind::kRandomGuess;
-  if (a == "oracle") return AlgorithmKind::kOracleClusters;
-  if (a == "baseline") return AlgorithmKind::kSampleAndShare;
-  return std::nullopt;
-}
-
-std::optional<AdversaryKind> parse_adversary(const std::string& a) {
-  if (a == "none") return AdversaryKind::kNone;
-  if (a == "random_liar") return AdversaryKind::kRandomLiar;
-  if (a == "inverter") return AdversaryKind::kInverter;
-  if (a == "constant_one") return AdversaryKind::kConstantOne;
-  if (a == "targeted_bias") return AdversaryKind::kTargetedBias;
-  if (a == "hijacker") return AdversaryKind::kHijacker;
-  if (a == "sleeper") return AdversaryKind::kSleeper;
-  if (a == "strange_colluder") return AdversaryKind::kStrangeColluder;
-  return std::nullopt;
-}
-
-std::vector<std::size_t> parse_values(const std::string& csv) {
-  std::vector<std::size_t> out;
-  std::stringstream ss(csv);
-  std::string item;
-  while (std::getline(ss, item, ','))
-    if (!item.empty()) out.push_back(std::stoull(item));
-  return out;
-}
-
-void apply_sweep_value(ExperimentConfig& config, const std::string& field,
-                       std::size_t value) {
-  if (field == "n")
-    config.n = value;
-  else if (field == "budget")
-    config.budget = value;
-  else if (field == "diameter")
-    config.diameter = value;
-  else if (field == "dishonest")
-    config.dishonest = value;
+void print_human(const SuiteRun& run) {
+  const Scenario& sc = run.scenario;
+  const ExperimentOutcome& out = run.outcome;
+  std::printf(
+      "%s/%s/%s n=%zu B=%zu D=%zu dishonest=%zu seed=%llu\n"
+      "  max_err=%zu mean_err=%.2f max_probes=%llu err/opt=%.2f wall=%.2fs\n",
+      sc.workload.c_str(), sc.algorithm.c_str(), sc.adversary.c_str(), sc.n,
+      sc.budget, sc.diameter, sc.dishonest,
+      static_cast<unsigned long long>(sc.seed), out.error.max_error,
+      out.error.mean_error, static_cast<unsigned long long>(out.max_probes),
+      out.approx_ratio, out.wall_seconds);
 }
 
 int run(int argc, char** argv) {
-  ExperimentConfig config;
+  ScenarioSpec spec;
+  SuiteOptions options;
+  std::string grid;
   bool csv = false;
-  bool paper_params = false;
-  std::string sweep_field;
-  std::vector<std::size_t> sweep_values;
+  bool grid_requested = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -112,85 +98,89 @@ int run(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
-    if (arg == "--n") config.n = std::stoull(next());
-    else if (arg == "--budget") config.budget = std::stoull(next());
-    else if (arg == "--diameter") config.diameter = std::stoull(next());
-    else if (arg == "--clusters") config.n_clusters = std::stoull(next());
-    else if (arg == "--seed") config.seed = std::stoull(next());
-    else if (arg == "--dishonest") config.dishonest = std::stoull(next());
-    else if (arg == "--reps") config.robust_outer_reps = std::stoull(next());
-    else if (arg == "--workload") {
-      auto w = parse_workload(next());
-      if (!w) usage(argv[0]);
-      config.workload = *w;
-    } else if (arg == "--algorithm") {
-      auto a = parse_algorithm(next());
-      if (!a) usage(argv[0]);
-      config.algorithm = *a;
-    } else if (arg == "--adversary") {
-      auto a = parse_adversary(next());
-      if (!a) usage(argv[0]);
-      config.adversary = *a;
-    } else if (arg == "--paper-params") {
-      paper_params = true;
-    } else if (arg == "--no-opt") {
-      config.compute_opt = false;
-    } else if (arg == "--sweep") {
-      sweep_field = next();
-    } else if (arg == "--values") {
-      sweep_values = parse_values(next());
-    } else if (arg == "--csv") {
-      csv = true;
+    auto set_override = [&](const char* key) { spec.set(key, next()); };
+
+    if (arg == "--workload") spec.workload = next();
+    else if (arg == "--algorithm") spec.algorithm = next();
+    else if (arg == "--adversary") spec.adversary = next();
+    else if (arg == "--scenario") {
+      // Apply token by token (not via ScenarioSpec::parse) so names the
+      // string does not mention keep whatever earlier flags set them to.
+      std::istringstream tokens{next()};
+      std::string token;
+      while (tokens >> token) {
+        const std::size_t eq = token.find('=');
+        if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size())
+          throw ScenarioError("malformed scenario token '" + token +
+                              "'; expected key=value");
+        spec.set(token.substr(0, eq), token.substr(eq + 1));
+      }
+    } else if (arg == "--set") {
+      const std::string kv = next();
+      const std::size_t eq = kv.find('=');
+      if (eq == std::string::npos || eq == 0 || eq + 1 >= kv.size()) usage(argv[0]);
+      spec.set(kv.substr(0, eq), kv.substr(eq + 1));
+    } else if (arg == "--n") set_override("n");
+    else if (arg == "--budget") set_override("budget");
+    else if (arg == "--diameter") set_override("diameter");
+    else if (arg == "--clusters") set_override("clusters");
+    else if (arg == "--seed") set_override("seed");
+    else if (arg == "--dishonest") set_override("dishonest");
+    else if (arg == "--reps") set_override("reps");
+    else if (arg == "--paper-params") spec.set("paper_params", "1");
+    else if (arg == "--no-opt") spec.set("opt", "0");
+    else if (arg == "--grid") { grid = next(); grid_requested = true; }
+    else if (arg == "--threads") {
+      const std::string value = next();
+      std::size_t used = 0;
+      try {
+        options.threads = std::stoull(value, &used);
+      } catch (...) {
+        used = 0;
+      }
+      if (used != value.size()) usage(argv[0]);
+    }
+    else if (arg == "--raw-seeds") options.derive_seeds = false;
+    else if (arg == "--csv") csv = true;
+    else if (arg == "--list-workloads") {
+      print_registry("workloads", WorkloadRegistry::instance().descriptions());
+      return 0;
+    } else if (arg == "--list-adversaries") {
+      print_registry("adversaries", AdversaryRegistry::instance().descriptions());
+      return 0;
+    } else if (arg == "--list-algorithms") {
+      print_registry("algorithms", AlgorithmRegistry::instance().descriptions());
+      return 0;
     } else {
       usage(argv[0]);
     }
   }
-  if (paper_params) config.params = Params::paper(config.budget);
-  if (!sweep_field.empty() && sweep_values.empty()) usage(argv[0]);
-  if (sweep_values.empty()) sweep_values.push_back(0);  // single run marker
+
+  // Single runs keep their literal seed; grids derive per-cell seeds.
+  if (!grid_requested) options.derive_seeds = false;
 
   std::unique_ptr<CsvWriter> writer;
-  if (csv) {
-    writer = std::make_unique<CsvWriter>(
-        std::cout,
-        std::vector<std::string>{"workload", "algorithm", "adversary", "n", "budget",
-                                 "diameter", "dishonest", "seed", "max_err",
-                                 "mean_err", "max_probes", "total_probes",
-                                 "err_over_opt", "wall_s"});
-  }
+  if (csv)
+    writer = std::make_unique<CsvWriter>(std::cout,
+                                         suite_csv_columns(/*include_wall=*/true));
+  options.on_result = [&](const SuiteRun& run) {
+    if (csv) suite_csv_row(*writer, run, /*include_wall=*/true);
+    else print_human(run);
+  };
 
-  for (std::size_t value : sweep_values) {
-    ExperimentConfig run_config = config;
-    if (!sweep_field.empty()) apply_sweep_value(run_config, sweep_field, value);
-    const ExperimentOutcome out = run_experiment(run_config);
-
-    if (csv) {
-      writer->row_values(
-          ExperimentConfig::workload_name(run_config.workload),
-          ExperimentConfig::algorithm_name(run_config.algorithm),
-          ExperimentConfig::adversary_name(run_config.adversary), run_config.n,
-          run_config.budget, run_config.diameter, run_config.dishonest,
-          run_config.seed, out.error.max_error, out.error.mean_error,
-          out.max_probes, out.total_probes, out.approx_ratio, out.wall_seconds);
-    } else {
-      std::printf(
-          "%s/%s/%s n=%zu B=%zu D=%zu dishonest=%zu seed=%llu\n"
-          "  max_err=%zu mean_err=%.2f max_probes=%llu err/opt=%.2f wall=%.2fs\n",
-          ExperimentConfig::workload_name(run_config.workload).c_str(),
-          ExperimentConfig::algorithm_name(run_config.algorithm).c_str(),
-          ExperimentConfig::adversary_name(run_config.adversary).c_str(),
-          run_config.n, run_config.budget, run_config.diameter,
-          run_config.dishonest,
-          static_cast<unsigned long long>(run_config.seed), out.error.max_error,
-          out.error.mean_error,
-          static_cast<unsigned long long>(out.max_probes), out.approx_ratio,
-          out.wall_seconds);
-    }
-  }
+  SuiteRunner runner(options);
+  runner.run_grid(spec, grid);
   return 0;
 }
 
 }  // namespace
 }  // namespace colscore
 
-int main(int argc, char** argv) { return colscore::run(argc, argv); }
+int main(int argc, char** argv) {
+  try {
+    return colscore::run(argc, argv);
+  } catch (const colscore::ScenarioError& e) {
+    std::fprintf(stderr, "colscore_cli: %s\n", e.what());
+    return 2;
+  }
+}
