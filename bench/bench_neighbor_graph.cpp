@@ -1,0 +1,94 @@
+// Microbenchmark for the protocol's dominant O(n^2) path: neighbor-graph
+// construction + greedy cluster peeling over a protocol-like z family
+// (planted groups with intra-cluster spread, far inter-cluster distances —
+// the regime where the early-exit Hamming kernel and pair symmetry pay).
+//
+// The acceptance configuration for PR 2 is n=1024, |S|=4096 single-thread
+// (BM_GraphPlusCluster/1024); tools/bench_to_json.py distills the JSON
+// output into BENCH_pr2.json. Build Release (-O3) for recorded numbers.
+#include <benchmark/benchmark.h>
+
+#include "src/common/bitmatrix.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/protocols/neighbor_graph.hpp"
+
+namespace colscore {
+namespace {
+
+constexpr std::size_t kDim = 4096;     // |S|: sampled coordinates per z-vector
+constexpr std::size_t kGroups = 8;     // B planted clusters
+constexpr std::size_t kSpread = 40;    // intra-cluster flip count
+constexpr std::size_t kTau = 208;      // ~graph_tau_c * ln n edge threshold
+
+BitMatrix make_z_family(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<BitVector> centers;
+  for (std::size_t g = 0; g < kGroups; ++g)
+    centers.push_back(random_bitvector(kDim, rng));
+  BitMatrix z(n, kDim);
+  for (std::size_t i = 0; i < n; ++i) {
+    BitVector v = centers[i % kGroups];
+    v.flip_random(rng, kSpread);
+    z.row(i) = v;
+  }
+  return z;
+}
+
+std::size_t min_cluster_for(std::size_t n) {
+  // (n/B) * (1 - cluster_slack) with the default slack of 1/3.
+  return std::max<std::size_t>(2, n / kGroups * 2 / 3);
+}
+
+void BM_NeighborGraphBuild(benchmark::State& state) {
+  ThreadPool::reset_global(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BitMatrix z = make_z_family(n, 42);
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    const NeighborGraph graph(z, kTau);
+    edges = 0;
+    for (PlayerId p = 0; p < n; ++p) edges += graph.degree(p);
+    benchmark::DoNotOptimize(edges);
+  }
+  state.counters["edges"] = static_cast<double>(edges);
+  state.counters["pairs_per_s"] = benchmark::Counter(
+      static_cast<double>(n) * static_cast<double>(n - 1) / 2.0,
+      benchmark::Counter::kIsIterationInvariantRate);
+  ThreadPool::reset_global(0);
+}
+
+void BM_ClusterPlayers(benchmark::State& state) {
+  ThreadPool::reset_global(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BitMatrix z = make_z_family(n, 42);
+  const NeighborGraph graph(z, kTau);
+  std::size_t clusters = 0;
+  for (auto _ : state) {
+    const Clustering c = cluster_players(graph, min_cluster_for(n));
+    clusters = c.clusters.size();
+    benchmark::DoNotOptimize(clusters);
+  }
+  state.counters["clusters"] = static_cast<double>(clusters);
+  ThreadPool::reset_global(0);
+}
+
+void BM_GraphPlusCluster(benchmark::State& state) {
+  ThreadPool::reset_global(1);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const BitMatrix z = make_z_family(n, 42);
+  for (auto _ : state) {
+    const NeighborGraph graph(z, kTau);
+    const Clustering c = cluster_players(graph, min_cluster_for(n));
+    benchmark::DoNotOptimize(c.clusters.size());
+  }
+  ThreadPool::reset_global(0);
+}
+
+BENCHMARK(BM_NeighborGraphBuild)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ClusterPlayers)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_GraphPlusCluster)->Arg(1024)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace colscore
+
+BENCHMARK_MAIN();

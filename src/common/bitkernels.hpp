@@ -1,0 +1,103 @@
+// Word-parallel kernels over raw 64-bit word arrays.
+//
+// BitVector and the BitMatrix row views (BitRow/ConstBitRow) share these so
+// the hot loops — Hamming sweeps in the neighbor graph, diff enumeration in
+// the Select tournaments — compile to the same XOR+popcount code regardless
+// of which container owns the bits. All functions assume the caller has
+// validated sizes and that padding bits past `bits` in the last word are
+// zero (both containers maintain that invariant).
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+namespace colscore::bitkernel {
+
+inline constexpr std::size_t kWordBits = 64;
+
+inline constexpr std::size_t word_count(std::size_t bits) noexcept {
+  return (bits + kWordBits - 1) / kWordBits;
+}
+
+inline std::size_t popcount(const std::uint64_t* w, std::size_t words) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words; ++i)
+    total += static_cast<std::size_t>(std::popcount(w[i]));
+  return total;
+}
+
+inline std::size_t hamming(const std::uint64_t* a, const std::uint64_t* b,
+                           std::size_t words) noexcept {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words; ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  return total;
+}
+
+/// True iff hamming(a, b) > threshold; stops scanning as soon as the running
+/// distance crosses the threshold. Far pairs (the common case in neighbor
+/// graph construction, where most players sit in other clusters) exit after a
+/// handful of words instead of scanning the whole row. The check runs once
+/// per 4-word block so near pairs pay almost nothing for it.
+inline bool hamming_exceeds(const std::uint64_t* a, const std::uint64_t* b,
+                            std::size_t words, std::size_t threshold) noexcept {
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+    total += static_cast<std::size_t>(std::popcount(a[i + 1] ^ b[i + 1]));
+    total += static_cast<std::size_t>(std::popcount(a[i + 2] ^ b[i + 2]));
+    total += static_cast<std::size_t>(std::popcount(a[i + 3] ^ b[i + 3]));
+    if (total > threshold) return true;
+  }
+  for (; i < words; ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  return total > threshold;
+}
+
+inline std::size_t hamming_prefix(const std::uint64_t* a, const std::uint64_t* b,
+                                  std::size_t prefix_bits) noexcept {
+  const std::size_t full = prefix_bits / kWordBits;
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < full; ++i)
+    total += static_cast<std::size_t>(std::popcount(a[i] ^ b[i]));
+  const std::size_t rem = prefix_bits % kWordBits;
+  if (rem != 0) {
+    const std::uint64_t mask = (1ULL << rem) - 1;
+    total += static_cast<std::size_t>(std::popcount((a[full] ^ b[full]) & mask));
+  }
+  return total;
+}
+
+/// Appends the positions where a and b differ (ascending) to `out`. The
+/// caller clears `out` if it wants only this pair's positions — keeping the
+/// clear outside lets tournament loops reuse one buffer across pairs.
+inline void diff_positions_into(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words, std::vector<std::size_t>& out) {
+  for (std::size_t w = 0; w < words; ++w) {
+    std::uint64_t x = a[w] ^ b[w];
+    while (x != 0) {
+      const int bit = std::countr_zero(x);
+      out.push_back(w * kWordBits + static_cast<std::size_t>(bit));
+      x &= x - 1;
+    }
+  }
+}
+
+/// Stable fnv-style content hash; must produce identical values for identical
+/// bit content whether the bits live in a BitVector or a BitMatrix row (the
+/// deterministic Select variant keys probe streams off this).
+inline std::uint64_t content_hash(const std::uint64_t* w, std::size_t bits) noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL ^ bits;
+  const std::size_t words = word_count(bits);
+  for (std::size_t i = 0; i < words; ++i) {
+    h ^= w[i];
+    h *= 0x100000001b3ULL;
+    h ^= h >> 29;
+  }
+  return h;
+}
+
+}  // namespace colscore::bitkernel

@@ -1,0 +1,93 @@
+#include "src/common/bitmatrix.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/assert.hpp"
+
+namespace colscore {
+
+namespace {
+
+constexpr std::size_t kWordsPerLine = 8;  // 64 bytes
+
+std::size_t aligned_stride(std::size_t cols) {
+  const std::size_t words = bitkernel::word_count(cols);
+  return (words + kWordsPerLine - 1) / kWordsPerLine * kWordsPerLine;
+}
+
+std::uint64_t* alloc_words(std::size_t words) {
+  if (words == 0) return nullptr;
+  void* p = std::aligned_alloc(64, words * sizeof(std::uint64_t));
+  CS_ASSERT(p != nullptr, "BitMatrix: allocation failed");
+  return static_cast<std::uint64_t*>(p);
+}
+
+}  // namespace
+
+BitMatrix::BitMatrix(std::size_t rows, std::size_t cols, bool value)
+    : rows_(rows), cols_(cols), stride_(aligned_stride(cols)),
+      words_(alloc_words(rows * stride_)) {
+  if (total_words() == 0) return;
+  if (!value) {
+    std::memset(words_.get(), 0, total_words() * sizeof(std::uint64_t));
+    return;
+  }
+  // All-ones rows with zeroed padding (both intra-word and stride padding).
+  std::memset(words_.get(), 0, total_words() * sizeof(std::uint64_t));
+  for (std::size_t r = 0; r < rows_; ++r) row(r).fill(true);
+}
+
+BitMatrix::BitMatrix(const BitMatrix& other)
+    : rows_(other.rows_), cols_(other.cols_), stride_(other.stride_),
+      words_(alloc_words(other.total_words())) {
+  if (total_words() != 0)
+    std::memcpy(words_.get(), other.words_.get(),
+                total_words() * sizeof(std::uint64_t));
+}
+
+BitMatrix& BitMatrix::operator=(const BitMatrix& other) {
+  if (this == &other) return *this;
+  BitMatrix copy(other);
+  *this = std::move(copy);
+  return *this;
+}
+
+BitMatrix::BitMatrix(BitMatrix&& other) noexcept
+    : rows_(other.rows_), cols_(other.cols_), stride_(other.stride_),
+      words_(std::move(other.words_)) {
+  other.rows_ = other.cols_ = other.stride_ = 0;
+}
+
+BitMatrix& BitMatrix::operator=(BitMatrix&& other) noexcept {
+  if (this == &other) return *this;
+  rows_ = other.rows_;
+  cols_ = other.cols_;
+  stride_ = other.stride_;
+  words_ = std::move(other.words_);
+  other.rows_ = other.cols_ = other.stride_ = 0;
+  return *this;
+}
+
+void BitMatrix::fill(bool value) noexcept {
+  if (total_words() == 0) return;
+  std::memset(words_.get(), 0, total_words() * sizeof(std::uint64_t));
+  if (value)
+    for (std::size_t r = 0; r < rows_; ++r) row(r).fill(true);
+}
+
+std::vector<ConstBitRow> BitMatrix::row_views() const {
+  std::vector<ConstBitRow> views;
+  views.reserve(rows_);
+  for (std::size_t r = 0; r < rows_; ++r) views.push_back(row(r));
+  return views;
+}
+
+bool operator==(const BitMatrix& a, const BitMatrix& b) noexcept {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  for (std::size_t r = 0; r < a.rows(); ++r)
+    if (!(a.row(r) == b.row(r))) return false;
+  return true;
+}
+
+}  // namespace colscore

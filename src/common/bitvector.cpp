@@ -1,21 +1,106 @@
 #include "src/common/bitvector.hpp"
 
 #include <algorithm>
-#include <bit>
+#include <cstring>
 
 #include "src/common/assert.hpp"
 
 namespace colscore {
 
 namespace {
-constexpr std::size_t kWordBits = 64;
+constexpr std::size_t kWordBits = bitkernel::kWordBits;
 
-std::size_t word_count(std::size_t bits) { return (bits + kWordBits - 1) / kWordBits; }
+std::size_t word_count(std::size_t bits) { return bitkernel::word_count(bits); }
 }  // namespace
+
+// ---- ConstBitRow / BitRow (out-of-line pieces) ------------------------------
+
+BitVector ConstBitRow::to_bitvector() const {
+  BitVector out(bits_);
+  if (bits_ != 0)
+    std::memcpy(out.word_data(), words_, word_count(bits_) * sizeof(std::uint64_t));
+  return out;
+}
+
+BitVector ConstBitRow::gather(std::span<const std::size_t> positions) const {
+  BitVector out(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    CS_ASSERT(positions[i] < bits_, "gather: position out of range");
+    out.set(i, get(positions[i]));
+  }
+  return out;
+}
+
+BitVector ConstBitRow::gather(std::span<const ObjectId> positions) const {
+  BitVector out(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    CS_ASSERT(positions[i] < bits_, "gather: position out of range");
+    out.set(i, get(positions[i]));
+  }
+  return out;
+}
+
+std::string ConstBitRow::to_string() const {
+  std::string s(bits_, '0');
+  for (std::size_t i = 0; i < bits_; ++i)
+    if (get(i)) s[i] = '1';
+  return s;
+}
+
+bool operator==(const ConstBitRow& a, const ConstBitRow& b) noexcept {
+  if (a.size() != b.size()) return false;
+  const auto aw = a.words();
+  const auto bw = b.words();
+  return std::equal(aw.begin(), aw.end(), bw.begin());
+}
+
+void BitRow::fill(bool value) noexcept {
+  const std::size_t words = word_count(bits_);
+  for (std::size_t i = 0; i < words; ++i) mwords_[i] = value ? ~0ULL : 0ULL;
+  const std::size_t rem = bits_ % kWordBits;
+  if (rem != 0 && words != 0) mwords_[words - 1] &= (1ULL << rem) - 1;
+}
+
+BitRow& BitRow::operator=(const ConstBitRow& src) noexcept {
+  CS_ASSERT(bits_ == src.size(), "BitRow assign: size mismatch");
+  if (bits_ != 0)
+    std::memmove(mwords_, src.words().data(),
+                 word_count(bits_) * sizeof(std::uint64_t));
+  return *this;
+}
+
+BitRow& BitRow::operator^=(ConstBitRow other) noexcept {
+  CS_ASSERT(bits_ == other.size(), "xor: size mismatch");
+  const std::uint64_t* ow = other.words().data();
+  for (std::size_t i = 0; i < word_count(bits_); ++i) mwords_[i] ^= ow[i];
+  return *this;
+}
+
+BitRow& BitRow::operator&=(ConstBitRow other) noexcept {
+  CS_ASSERT(bits_ == other.size(), "and: size mismatch");
+  const std::uint64_t* ow = other.words().data();
+  for (std::size_t i = 0; i < word_count(bits_); ++i) mwords_[i] &= ow[i];
+  return *this;
+}
+
+BitRow& BitRow::operator|=(ConstBitRow other) noexcept {
+  CS_ASSERT(bits_ == other.size(), "or: size mismatch");
+  const std::uint64_t* ow = other.words().data();
+  for (std::size_t i = 0; i < word_count(bits_); ++i) mwords_[i] |= ow[i];
+  return *this;
+}
+
+// ---- BitVector --------------------------------------------------------------
 
 BitVector::BitVector(std::size_t size, bool value)
     : size_(size), words_(word_count(size), value ? ~0ULL : 0ULL) {
   clear_padding();
+}
+
+BitVector::BitVector(ConstBitRow row) : size_(row.size()), words_(word_count(row.size())) {
+  if (size_ != 0)
+    std::memcpy(words_.data(), row.words().data(),
+                word_count(size_) * sizeof(std::uint64_t));
 }
 
 void BitVector::clear_padding() noexcept {
@@ -38,68 +123,40 @@ void BitVector::set(std::size_t i, bool value) noexcept {
 void BitVector::flip(std::size_t i) noexcept { words_[i / kWordBits] ^= 1ULL << (i % kWordBits); }
 
 std::size_t BitVector::popcount() const noexcept {
-  std::size_t total = 0;
-  for (std::uint64_t w : words_) total += static_cast<std::size_t>(std::popcount(w));
-  return total;
+  return bitkernel::popcount(words_.data(), words_.size());
 }
 
-std::size_t BitVector::hamming(const BitVector& other) const noexcept {
-  CS_ASSERT(size_ == other.size_, "hamming: size mismatch");
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < words_.size(); ++i)
-    total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
-  return total;
+std::size_t BitVector::hamming(ConstBitRow other) const noexcept {
+  return ConstBitRow(*this).hamming(other);
 }
 
-std::size_t BitVector::hamming_prefix(const BitVector& other,
+bool BitVector::hamming_exceeds(ConstBitRow other, std::size_t threshold) const noexcept {
+  return ConstBitRow(*this).hamming_exceeds(other, threshold);
+}
+
+std::size_t BitVector::hamming_prefix(ConstBitRow other,
                                       std::size_t prefix_bits) const noexcept {
-  CS_ASSERT(prefix_bits <= size_ && prefix_bits <= other.size_, "hamming_prefix: oob");
-  const std::size_t full = prefix_bits / kWordBits;
-  std::size_t total = 0;
-  for (std::size_t i = 0; i < full; ++i)
-    total += static_cast<std::size_t>(std::popcount(words_[i] ^ other.words_[i]));
-  const std::size_t rem = prefix_bits % kWordBits;
-  if (rem != 0) {
-    const std::uint64_t mask = (1ULL << rem) - 1;
-    total += static_cast<std::size_t>(
-        std::popcount((words_[full] ^ other.words_[full]) & mask));
-  }
-  return total;
+  return ConstBitRow(*this).hamming_prefix(other, prefix_bits);
 }
 
-std::vector<std::size_t> BitVector::diff_positions(const BitVector& other) const {
-  CS_ASSERT(size_ == other.size_, "diff_positions: size mismatch");
-  std::vector<std::size_t> out;
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    std::uint64_t x = words_[w] ^ other.words_[w];
-    while (x != 0) {
-      const int bit = std::countr_zero(x);
-      out.push_back(w * kWordBits + static_cast<std::size_t>(bit));
-      x &= x - 1;
-    }
-  }
-  return out;
+std::vector<std::size_t> BitVector::diff_positions(ConstBitRow other) const {
+  return ConstBitRow(*this).diff_positions(other);
+}
+
+void BitVector::diff_positions_into(ConstBitRow other,
+                                    std::vector<std::size_t>& out) const {
+  ConstBitRow(*this).diff_positions_into(other, out);
 }
 
 BitVector BitVector::gather(std::span<const std::size_t> positions) const {
-  BitVector out(positions.size());
-  for (std::size_t i = 0; i < positions.size(); ++i) {
-    CS_ASSERT(positions[i] < size_, "gather: position out of range");
-    out.set(i, get(positions[i]));
-  }
-  return out;
+  return ConstBitRow(*this).gather(positions);
 }
 
 BitVector BitVector::gather(std::span<const ObjectId> positions) const {
-  BitVector out(positions.size());
-  for (std::size_t i = 0; i < positions.size(); ++i) {
-    CS_ASSERT(positions[i] < size_, "gather: position out of range");
-    out.set(i, get(positions[i]));
-  }
-  return out;
+  return ConstBitRow(*this).gather(positions);
 }
 
-void BitVector::scatter(std::span<const std::size_t> positions, const BitVector& patch) {
+void BitVector::scatter(std::span<const std::size_t> positions, ConstBitRow patch) {
   CS_ASSERT(positions.size() == patch.size(), "scatter: size mismatch");
   for (std::size_t i = 0; i < positions.size(); ++i) {
     CS_ASSERT(positions[i] < size_, "scatter: position out of range");
@@ -134,25 +191,18 @@ void BitVector::flip_random(Rng& rng, std::size_t count) {
   for (std::size_t pos : chosen) flip(pos);
 }
 
-bool BitVector::operator==(const BitVector& other) const noexcept {
-  return size_ == other.size_ && words_ == other.words_;
-}
-
-BitVector& BitVector::operator^=(const BitVector& other) noexcept {
-  CS_ASSERT(size_ == other.size_, "xor: size mismatch");
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= other.words_[i];
+BitVector& BitVector::operator^=(ConstBitRow other) noexcept {
+  BitRow(*this) ^= other;
   return *this;
 }
 
-BitVector& BitVector::operator&=(const BitVector& other) noexcept {
-  CS_ASSERT(size_ == other.size_, "and: size mismatch");
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+BitVector& BitVector::operator&=(ConstBitRow other) noexcept {
+  BitRow(*this) &= other;
   return *this;
 }
 
-BitVector& BitVector::operator|=(const BitVector& other) noexcept {
-  CS_ASSERT(size_ == other.size_, "or: size mismatch");
-  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+BitVector& BitVector::operator|=(ConstBitRow other) noexcept {
+  BitRow(*this) |= other;
   return *this;
 }
 
@@ -163,21 +213,10 @@ BitVector BitVector::operator~() const {
   return out;
 }
 
-std::string BitVector::to_string() const {
-  std::string s(size_, '0');
-  for (std::size_t i = 0; i < size_; ++i)
-    if (get(i)) s[i] = '1';
-  return s;
-}
+std::string BitVector::to_string() const { return ConstBitRow(*this).to_string(); }
 
 std::uint64_t BitVector::content_hash() const noexcept {
-  std::uint64_t h = 0xcbf29ce484222325ULL ^ size_;
-  for (std::uint64_t w : words_) {
-    h ^= w;
-    h *= 0x100000001b3ULL;
-    h ^= h >> 29;
-  }
-  return h;
+  return bitkernel::content_hash(words_.data(), size_);
 }
 
 BitVector random_bitvector(std::size_t size, Rng& rng, double density) {

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/assert.hpp"
+#include "src/common/bitmatrix.hpp"
 #include "src/common/mathutil.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/protocols/neighbor_graph.hpp"
@@ -87,8 +88,8 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
   const std::vector<std::size_t> guesses =
       diameter_guesses(n_objects, params.sample_rate_c, ln_n);
 
-  // candidates[g][p] = candidate vector of player p from guess g.
-  std::vector<std::vector<BitVector>> candidates(guesses.size());
+  // candidates[g] row p = candidate vector of player p from guess g.
+  std::vector<BitMatrix> candidates(guesses.size());
 
   const std::size_t min_cluster = std::max<std::size_t>(
       2, static_cast<std::size_t>(std::ceil(
@@ -137,13 +138,14 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
     info.sr_candidate_overflow = sr.stats.candidate_overflow;
 
     // Publication of the z-vectors used for the graph (dishonest players may
-    // publish mimicry/garbage here).
+    // publish mimicry/garbage here). The family lives in one contiguous
+    // BitMatrix so the O(n^2) graph sweep below streams rows through cache.
     const std::uint64_t z_channel = mix_keys(iter_key, 0x9a9fULL);
     const ReportContext zctx{Phase::kClusterGraph, z_channel};
-    std::vector<BitVector> z(n);
+    BitMatrix z(n, sample.size());
     for (PlayerId p = 0; p < n; ++p) {
       Rng prng = env.local_rng(p, z_channel);
-      z[p] = env.population.publication(p, sr.outputs[p], sample, zctx, prng);
+      z.row(p) = env.population.publication(p, sr.outputs[p], sample, zctx, prng);
     }
 
     // Step 1.d: neighbor graph + clustering. The edge threshold is capped
@@ -153,7 +155,7 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
         std::min(params.graph_tau_c * ln_n,
                  params.graph_tau_sample_frac * static_cast<double>(sample.size())));
     const NeighborGraph graph(z, tau);
-    const Clustering clustering = cluster_players(graph, min_cluster, z);
+    const Clustering clustering = cluster_players(graph, min_cluster);
     info.clusters = clustering.clusters.size();
     info.min_cluster = clustering.min_cluster_size();
     info.leftovers = clustering.leftovers;
@@ -165,11 +167,11 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
       cluster_prediction[c] = cluster_votes(clustering.clusters[c], env,
                                             mix_keys(iter_key, 0x707eULL, c), ws);
     }
-    candidates[g].assign(n, BitVector(n_objects));
+    candidates[g] = BitMatrix(n, n_objects);
     parallel_for(0, n, [&](std::size_t p) {
       const std::uint32_t c = clustering.cluster_of[p];
       if (c != Clustering::kNoClusterAssigned)
-        candidates[g][p] = cluster_prediction[c];
+        candidates[g].row(p) = cluster_prediction[c];
     });
 
     result.iterations.push_back(info);
@@ -180,12 +182,16 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
       4, static_cast<std::size_t>(params.rselect_c * static_cast<double>(log2n)));
   result.outputs.assign(n, BitVector(n_objects));
   parallel_for(0, n, [&](std::size_t p) {
-    std::vector<BitVector> cands(guesses.size());
-    for (std::size_t g = 0; g < guesses.size(); ++g) cands[g] = candidates[g][p];
+    // Zero-copy candidate views into the per-guess matrices: the tournament
+    // only reads, so nothing is deep-copied until the winner is extracted.
+    std::vector<ConstBitRow> cands;
+    cands.reserve(guesses.size());
+    for (std::size_t g = 0; g < guesses.size(); ++g)
+      cands.push_back(candidates[g].row(p));
     const SelectOutcome sel =
         rselect(static_cast<PlayerId>(p), cands, all_objects, env,
                 mix_keys(phase_key, 0xfe1ec7ULL, p), probes_per_pair);
-    result.outputs[p] = std::move(cands[sel.chosen]);
+    result.outputs[p] = cands[sel.chosen].to_bitvector();
   });
 
   fill_probe_deltas(result, env.oracle, before);
@@ -247,13 +253,14 @@ RobustResult robust_calculate_preferences(ProbeOracle& oracle, BulletinBoard& bo
 
   robust.result.outputs.assign(n, BitVector(n_objects));
   parallel_for(0, n, [&](std::size_t p) {
-    std::vector<BitVector> cands(candidates.size());
+    std::vector<ConstBitRow> cands;
+    cands.reserve(candidates.size());
     for (std::size_t rep = 0; rep < candidates.size(); ++rep)
-      cands[rep] = candidates[rep][p];
+      cands.push_back(candidates[rep][p]);
     const SelectOutcome sel =
         rselect(static_cast<PlayerId>(p), cands, all_objects, env,
                 mix_keys(phase_key, 0x0b57ULL, p), probes_per_pair);
-    robust.result.outputs[p] = std::move(cands[sel.chosen]);
+    robust.result.outputs[p] = cands[sel.chosen].to_bitvector();
   });
 
   fill_probe_deltas(robust.result, oracle, before);

@@ -5,27 +5,27 @@
 namespace colscore {
 
 PreferenceMatrix::PreferenceMatrix(std::size_t n_players, std::size_t n_objects)
-    : n_objects_(n_objects), rows_(n_players, BitVector(n_objects)) {}
+    : n_objects_(n_objects), rows_(n_players, n_objects) {}
 
 bool PreferenceMatrix::preference(PlayerId p, ObjectId o) const {
-  CS_ASSERT(p < rows_.size(), "preference: bad player");
+  CS_ASSERT(p < rows_.rows(), "preference: bad player");
   CS_ASSERT(o < n_objects_, "preference: bad object");
-  return rows_[p].get(o);
+  return rows_.get(p, o);
 }
 
-const BitVector& PreferenceMatrix::row(PlayerId p) const {
-  CS_ASSERT(p < rows_.size(), "row: bad player");
-  return rows_[p];
+ConstBitRow PreferenceMatrix::row(PlayerId p) const {
+  CS_ASSERT(p < rows_.rows(), "row: bad player");
+  return rows_.row(p);
 }
 
-BitVector& PreferenceMatrix::row(PlayerId p) {
-  CS_ASSERT(p < rows_.size(), "row: bad player");
-  return rows_[p];
+BitRow PreferenceMatrix::row(PlayerId p) {
+  CS_ASSERT(p < rows_.rows(), "row: bad player");
+  return rows_.row(p);
 }
 
 void PreferenceMatrix::set(PlayerId p, ObjectId o, bool value) {
-  CS_ASSERT(p < rows_.size() && o < n_objects_, "set: out of range");
-  rows_[p].set(o, value);
+  CS_ASSERT(p < rows_.rows() && o < n_objects_, "set: out of range");
+  rows_.set(p, o, value);
 }
 
 std::size_t PreferenceMatrix::distance(PlayerId p, PlayerId q) const {

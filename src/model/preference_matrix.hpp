@@ -1,9 +1,12 @@
 // Ground-truth preference matrix: one binary vector per player (§2).
+//
+// Rows live in a contiguous BitMatrix (one allocation, cache-line-aligned
+// rows) and are exposed as zero-copy BitRow/ConstBitRow views; distance() and
+// diameter() run BitVector's word-parallel kernels over the views.
 #pragma once
 
-#include <vector>
-
 #include "src/board/probe_oracle.hpp"
+#include "src/common/bitmatrix.hpp"
 #include "src/common/bitvector.hpp"
 #include "src/common/types.hpp"
 
@@ -15,11 +18,11 @@ class PreferenceMatrix final : public TruthSource {
   PreferenceMatrix(std::size_t n_players, std::size_t n_objects);
 
   bool preference(PlayerId p, ObjectId o) const override;
-  std::size_t n_players() const override { return rows_.size(); }
+  std::size_t n_players() const override { return rows_.rows(); }
   std::size_t n_objects() const override { return n_objects_; }
 
-  const BitVector& row(PlayerId p) const;
-  BitVector& row(PlayerId p);
+  ConstBitRow row(PlayerId p) const;
+  BitRow row(PlayerId p);
   void set(PlayerId p, ObjectId o, bool value);
 
   /// Hamming distance between two players' true vectors.
@@ -30,7 +33,7 @@ class PreferenceMatrix final : public TruthSource {
 
  private:
   std::size_t n_objects_ = 0;
-  std::vector<BitVector> rows_;
+  BitMatrix rows_;
 };
 
 }  // namespace colscore

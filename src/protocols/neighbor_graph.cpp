@@ -1,29 +1,86 @@
 #include "src/protocols/neighbor_graph.hpp"
 
 #include <algorithm>
-#include <limits>
+#include <bit>
 
 #include "src/common/assert.hpp"
 #include "src/common/thread_pool.hpp"
 
 namespace colscore {
 
+namespace {
+
+/// Rows per tile: two tiles of z-rows should sit comfortably in L1/L2 while
+/// the pair sweep runs, so the inner loop streams words instead of DRAM.
+std::size_t tile_rows(std::size_t n, std::size_t row_bytes) {
+  constexpr std::size_t kTileBytes = 32 * 1024;
+  const std::size_t rows = kTileBytes / std::max<std::size_t>(1, row_bytes);
+  return std::clamp<std::size_t>(rows, 8, std::max<std::size_t>(8, n));
+}
+
+}  // namespace
+
+NeighborGraph::NeighborGraph(std::span<const ConstBitRow> z, std::size_t threshold) {
+  build(z, threshold);
+}
+
+NeighborGraph::NeighborGraph(const BitMatrix& z, std::size_t threshold) {
+  build(z.row_views(), threshold);
+}
+
 NeighborGraph::NeighborGraph(std::span<const BitVector> z, std::size_t threshold) {
+  std::vector<ConstBitRow> views(z.begin(), z.end());
+  build(views, threshold);
+}
+
+void NeighborGraph::build(std::span<const ConstBitRow> z, std::size_t threshold) {
   const std::size_t n = z.size();
-  adj_.assign(n, BitVector(n));
-  // Each task owns row p (writes only adj_[p]) — safe to parallelize.
-  parallel_for(0, n, [&, threshold](std::size_t p) {
-    for (std::size_t q = 0; q < n; ++q) {
-      if (q == p) continue;
-      if (z[p].hamming(z[q]) <= threshold) adj_[p].set(q, true);
+  adj_ = BitMatrix(n, n);
+  if (n < 2) return;
+  const std::size_t dim_words = bitkernel::word_count(z[0].size());
+  const std::size_t tile = tile_rows(n, dim_words * sizeof(std::uint64_t));
+  const std::size_t n_tiles = (n + tile - 1) / tile;
+
+  // Upper-triangle pass: each task owns the rows of one p-tile (writes only
+  // bits q > p of those rows — race-free), scanning the q-rows tile by tile
+  // so both tiles stay cache-resident across the pair sweep.
+  parallel_for(0, n_tiles, [&, threshold](std::size_t ti) {
+    const std::size_t p_begin = ti * tile;
+    const std::size_t p_end = std::min(n, p_begin + tile);
+    for (std::size_t tj = ti; tj < n_tiles; ++tj) {
+      const std::size_t q_tile_begin = tj * tile;
+      const std::size_t q_tile_end = std::min(n, q_tile_begin + tile);
+      for (std::size_t p = p_begin; p < p_end; ++p) {
+        BitRow out = adj_.row(p);
+        const ConstBitRow zp = z[p];
+        for (std::size_t q = std::max(q_tile_begin, p + 1); q < q_tile_end; ++q) {
+          if (!zp.hamming_exceeds(z[q], threshold)) out.set(q, true);
+        }
+      }
     }
   });
+
+  // Symmetrize: mirror every upper-triangle edge. O(n^2/64) word scans plus
+  // O(edges) bit sets — negligible next to the distance pass it halves.
+  for (std::size_t p = 0; p < n; ++p) {
+    const std::span<const std::uint64_t> words = adj_.row(p).words();
+    for (std::size_t w = (p + 1) / bitkernel::kWordBits; w < words.size(); ++w) {
+      std::uint64_t x = words[w];
+      while (x != 0) {
+        const std::size_t q =
+            w * bitkernel::kWordBits + static_cast<std::size_t>(std::countr_zero(x));
+        x &= x - 1;
+        if (q > p) adj_.set(q, p, true);
+      }
+    }
+  }
 }
 
 std::size_t Clustering::min_cluster_size() const {
-  std::size_t best = std::numeric_limits<std::size_t>::max();
+  if (clusters.empty()) return 0;
+  std::size_t best = clusters.front().size();
   for (const auto& c : clusters) best = std::min(best, c.size());
-  return clusters.empty() ? 0 : best;
+  return best;
 }
 
 std::size_t Clustering::max_cluster_size() const {
@@ -32,19 +89,31 @@ std::size_t Clustering::max_cluster_size() const {
   return best;
 }
 
-Clustering cluster_players(const NeighborGraph& graph, std::size_t min_cluster,
-                           std::span<const BitVector> z) {
-  (void)z;  // kept in the API for diagnostics/extension hooks
+Clustering cluster_players(const NeighborGraph& graph, std::size_t min_cluster) {
   const std::size_t n = graph.size();
   CS_ASSERT(min_cluster >= 1, "cluster_players: min_cluster >= 1");
   Clustering out;
   out.cluster_of.assign(n, Clustering::kNoClusterAssigned);
 
   BitVector alive(n, true);
-  auto alive_degree = [&](PlayerId p) {
-    BitVector masked = graph.row(p);
-    masked &= alive;
-    return masked.popcount();
+  // deg[p] = |row(p) & alive|, maintained incrementally as members are
+  // absorbed (the previous formulation rescanned an O(n/64)-word popcount —
+  // and allocated a temp vector — per candidate per round).
+  std::vector<std::size_t> deg(n);
+  for (PlayerId p = 0; p < n; ++p) deg[p] = graph.degree(p);
+
+  /// Set bits of (row & alive), ascending.
+  const auto for_alive_neighbors = [&](PlayerId p, auto&& fn) {
+    const std::span<const std::uint64_t> rw = graph.row(p).words();
+    const std::span<const std::uint64_t> aw = alive.words();
+    for (std::size_t w = 0; w < rw.size(); ++w) {
+      std::uint64_t x = rw[w] & aw[w];
+      while (x != 0) {
+        fn(static_cast<PlayerId>(w * bitkernel::kWordBits +
+                                 static_cast<std::size_t>(std::countr_zero(x))));
+        x &= x - 1;
+      }
+    }
   };
 
   // Peeling pass: pick the max-alive-degree player with degree >=
@@ -54,10 +123,9 @@ Clustering cluster_players(const NeighborGraph& graph, std::size_t min_cluster,
     std::size_t best_deg = 0;
     for (PlayerId p = 0; p < n; ++p) {
       if (!alive.get(p)) continue;
-      const std::size_t deg = alive_degree(p);
-      if (deg + 1 >= min_cluster && (best == kInvalidPlayer || deg > best_deg)) {
+      if (deg[p] + 1 >= min_cluster && (best == kInvalidPlayer || deg[p] > best_deg)) {
         best = p;
-        best_deg = deg;
+        best_deg = deg[p];
       }
     }
     if (best == kInvalidPlayer) break;
@@ -65,14 +133,18 @@ Clustering cluster_players(const NeighborGraph& graph, std::size_t min_cluster,
     const auto cluster_id = static_cast<std::uint32_t>(out.clusters.size());
     std::vector<PlayerId> members;
     members.push_back(best);
-    BitVector hood = graph.row(best);
-    hood &= alive;
-    for (PlayerId q = 0; q < n; ++q)
-      if (hood.get(q)) members.push_back(q);
+    for_alive_neighbors(best, [&](PlayerId q) {
+      if (q != best) members.push_back(q);
+    });
     for (PlayerId q : members) {
       alive.set(q, false);
       out.cluster_of[q] = cluster_id;
     }
+    // Every surviving neighbour of an absorbed member loses one alive-degree
+    // per absorbed member it was adjacent to (edge symmetry makes this the
+    // exact delta of |row(q) & alive|).
+    for (PlayerId m : members)
+      for_alive_neighbors(m, [&](PlayerId q) { --deg[q]; });
     out.clusters.push_back(std::move(members));
   }
 
@@ -82,11 +154,18 @@ Clustering cluster_players(const NeighborGraph& graph, std::size_t min_cluster,
   for (PlayerId p = 0; p < n; ++p) {
     if (!alive.get(p)) continue;
     std::uint32_t target = Clustering::kNoClusterAssigned;
-    const BitVector& row = graph.row(p);
-    for (PlayerId q = 0; q < n; ++q) {
-      if (row.get(q) && out.cluster_of[q] != Clustering::kNoClusterAssigned) {
-        target = out.cluster_of[q];
-        break;
+    const std::span<const std::uint64_t> rw = graph.row(p).words();
+    for (std::size_t w = 0; w < rw.size() && target == Clustering::kNoClusterAssigned;
+         ++w) {
+      std::uint64_t x = rw[w];
+      while (x != 0) {
+        const auto q = static_cast<PlayerId>(
+            w * bitkernel::kWordBits + static_cast<std::size_t>(std::countr_zero(x)));
+        x &= x - 1;
+        if (out.cluster_of[q] != Clustering::kNoClusterAssigned) {
+          target = out.cluster_of[q];
+          break;
+        }
       }
     }
     if (target == Clustering::kNoClusterAssigned) {

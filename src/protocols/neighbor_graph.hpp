@@ -5,11 +5,18 @@
 // take a player with >= min_cluster-1 surviving neighbours together with its
 // whole neighbourhood; leftovers then attach to the cluster of any previously
 // removed neighbour.
+//
+// Hot-path layout: the adjacency lives in a contiguous BitMatrix and the
+// construction computes each unordered pair {p, q} once, in cache-sized row
+// tiles, with an early-exit Hamming kernel that abandons a pair as soon as
+// its running distance crosses the threshold (far pairs — the common case —
+// cost a handful of words instead of a full row scan).
 #pragma once
 
 #include <span>
 #include <vector>
 
+#include "src/common/bitmatrix.hpp"
 #include "src/common/bitvector.hpp"
 #include "src/common/types.hpp"
 
@@ -18,18 +25,22 @@ namespace colscore {
 class NeighborGraph {
  public:
   /// Builds the graph over the published sample vectors: edge iff
-  /// hamming(z[p], z[q]) <= threshold. O(n^2) distance computations,
-  /// parallelized.
+  /// hamming(z[p], z[q]) <= threshold. Each pair is computed once (symmetry)
+  /// in row tiles; the per-pair kernel early-exits past the threshold.
+  NeighborGraph(std::span<const ConstBitRow> z, std::size_t threshold);
+  NeighborGraph(const BitMatrix& z, std::size_t threshold);
   NeighborGraph(std::span<const BitVector> z, std::size_t threshold);
 
-  std::size_t size() const noexcept { return adj_.size(); }
-  bool has_edge(PlayerId p, PlayerId q) const { return adj_[p].get(q); }
-  std::size_t degree(PlayerId p) const { return adj_[p].popcount(); }
-  /// Neighbours of p as an n-bit row (bit q set iff edge pq).
-  const BitVector& row(PlayerId p) const { return adj_[p]; }
+  std::size_t size() const noexcept { return adj_.rows(); }
+  bool has_edge(PlayerId p, PlayerId q) const { return adj_.get(p, q); }
+  std::size_t degree(PlayerId p) const { return adj_.row(p).popcount(); }
+  /// Neighbours of p as an n-bit row view (bit q set iff edge pq).
+  ConstBitRow row(PlayerId p) const { return adj_.row(p); }
 
  private:
-  std::vector<BitVector> adj_;
+  void build(std::span<const ConstBitRow> z, std::size_t threshold);
+
+  BitMatrix adj_;
 };
 
 struct Clustering {
@@ -49,9 +60,14 @@ struct Clustering {
 };
 
 /// Greedy peeling per Fig. 2 step 1.d with cluster size floor `min_cluster`
-/// (= n/B in the paper). `z` is used only for the orphan fallback (nearest
-/// seed by sample distance).
-Clustering cluster_players(const NeighborGraph& graph, std::size_t min_cluster,
-                           std::span<const BitVector> z);
+/// (= n/B in the paper). Alive-degrees are maintained incrementally as
+/// members are absorbed instead of rescanned per probe.
+Clustering cluster_players(const NeighborGraph& graph, std::size_t min_cluster);
+
+/// Compat overload: `z` was only ever a diagnostics hook and is ignored.
+inline Clustering cluster_players(const NeighborGraph& graph, std::size_t min_cluster,
+                                  std::span<const BitVector> /*z*/) {
+  return cluster_players(graph, min_cluster);
+}
 
 }  // namespace colscore

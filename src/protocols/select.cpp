@@ -1,7 +1,6 @@
 #include "src/protocols/select.hpp"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "src/common/assert.hpp"
 
@@ -9,14 +8,23 @@ namespace colscore {
 
 namespace {
 
+std::vector<ConstBitRow> as_views(std::span<const BitVector> candidates) {
+  return std::vector<ConstBitRow>(candidates.begin(), candidates.end());
+}
+
 /// Shared implementation of the pairwise elimination tournament.
 /// `deterministic` switches the probe-position sampling stream.
-SelectOutcome run_tournament(PlayerId p, std::span<const BitVector> candidates,
+///
+/// Scratch discipline: one diff buffer is reused across all pairs, and the
+/// per-coordinate probe memo is a two-plane bit cache (probed?/value) instead
+/// of a hash map — the tournament runs once per player per phase, so the
+/// per-pair allocations were the dominant cost at scale.
+SelectOutcome run_tournament(PlayerId p, std::span<const ConstBitRow> candidates,
                              std::span<const ObjectId> objects, ProtocolEnv& env,
                              std::uint64_t phase_key, std::size_t probes_per_pair,
                              std::size_t skip_below, bool deterministic) {
   CS_ASSERT(!candidates.empty(), "select: no candidates");
-  for (const BitVector& c : candidates)
+  for (const ConstBitRow& c : candidates)
     CS_ASSERT(c.size() == objects.size(), "select: candidate/universe size mismatch");
 
   SelectOutcome out;
@@ -27,14 +35,16 @@ SelectOutcome run_tournament(PlayerId p, std::span<const BitVector> candidates,
   std::vector<std::size_t> wins(k, 0);
   // Players remember their own probe results within a protocol step, so each
   // distinct coordinate is charged at most once.
-  std::unordered_map<std::size_t, bool> probed;
+  BitVector probed(objects.size());
+  BitVector probe_value(objects.size());
+  std::vector<std::size_t> diff;
 
   auto own_bit = [&](std::size_t coord) {
-    auto it = probed.find(coord);
-    if (it != probed.end()) return it->second;
+    if (probed.get(coord)) return probe_value.get(coord);
     const bool bit = env.own_probe(p, objects[coord]);
     ++out.probes;
-    probed.emplace(coord, bit);
+    probed.set(coord, true);
+    probe_value.set(coord, bit);
     return bit;
   };
 
@@ -43,7 +53,8 @@ SelectOutcome run_tournament(PlayerId p, std::span<const BitVector> candidates,
     for (std::size_t j = i + 1; j < k; ++j) {
       if (!alive[i]) break;
       if (!alive[j]) continue;
-      const std::vector<std::size_t> diff = candidates[i].diff_positions(candidates[j]);
+      diff.clear();
+      candidates[i].diff_positions_into(candidates[j], diff);
       if (diff.empty() || diff.size() <= skip_below) continue;
 
       Rng stream = deterministic
@@ -89,14 +100,20 @@ SelectOutcome run_tournament(PlayerId p, std::span<const BitVector> candidates,
 
 }  // namespace
 
-SelectOutcome rselect(PlayerId p, std::span<const BitVector> candidates,
+SelectOutcome rselect(PlayerId p, std::span<const ConstBitRow> candidates,
                       std::span<const ObjectId> objects, ProtocolEnv& env,
                       std::uint64_t phase_key, std::size_t probes_per_pair) {
   return run_tournament(p, candidates, objects, env, phase_key, probes_per_pair,
                         /*skip_below=*/0, /*deterministic=*/false);
 }
 
-SelectOutcome select_deterministic(PlayerId p, std::span<const BitVector> candidates,
+SelectOutcome rselect(PlayerId p, std::span<const BitVector> candidates,
+                      std::span<const ObjectId> objects, ProtocolEnv& env,
+                      std::uint64_t phase_key, std::size_t probes_per_pair) {
+  return rselect(p, as_views(candidates), objects, env, phase_key, probes_per_pair);
+}
+
+SelectOutcome select_deterministic(PlayerId p, std::span<const ConstBitRow> candidates,
                                    std::span<const ObjectId> objects, ProtocolEnv& env,
                                    std::uint64_t phase_key,
                                    std::size_t probes_per_pair,
@@ -105,7 +122,16 @@ SelectOutcome select_deterministic(PlayerId p, std::span<const BitVector> candid
                         skip_below, /*deterministic=*/true);
 }
 
-SelectOutcome select_prefiltered(PlayerId p, std::span<const BitVector> candidates,
+SelectOutcome select_deterministic(PlayerId p, std::span<const BitVector> candidates,
+                                   std::span<const ObjectId> objects, ProtocolEnv& env,
+                                   std::uint64_t phase_key,
+                                   std::size_t probes_per_pair,
+                                   std::size_t skip_below) {
+  return select_deterministic(p, as_views(candidates), objects, env, phase_key,
+                              probes_per_pair, skip_below);
+}
+
+SelectOutcome select_prefiltered(PlayerId p, std::span<const ConstBitRow> candidates,
                                  std::span<const ObjectId> objects, ProtocolEnv& env,
                                  std::uint64_t phase_key, std::size_t probes_per_pair,
                                  std::size_t prefilter_probes,
@@ -119,28 +145,32 @@ SelectOutcome select_prefiltered(PlayerId p, std::span<const BitVector> candidat
 
   SelectOutcome out;
   // Shared prefilter coordinates: identical for every player so adversaries
-  // gain nothing by tailoring per-player lies to them.
+  // gain nothing by tailoring per-player lies to them. The t probes go
+  // through one batched charge instead of t counter round-trips; the charge
+  // total is unchanged (duplicate coordinates still pay, as before).
   Rng coords_rng(mix_keys(phase_key, 0x9ef1a7e4ULL));
   const std::size_t t = std::min(prefilter_probes, objects.size());
   std::vector<std::size_t> coords(t);
-  std::vector<bool> own_bits(t);
+  std::vector<ObjectId> probe_objects(t);
   for (std::size_t s = 0; s < t; ++s) {
     coords[s] = coords_rng.below(objects.size());
-    own_bits[s] = env.own_probe(p, objects[coords[s]]);
-    ++out.probes;
+    probe_objects[s] = objects[coords[s]];
   }
+  std::vector<std::uint8_t> own_bits(t);
+  env.own_probe_many(p, probe_objects, own_bits);
+  out.probes += t;
 
   std::vector<std::pair<std::size_t, std::size_t>> scored;  // (disagreements, idx)
   scored.reserve(candidates.size());
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     std::size_t miss = 0;
     for (std::size_t s = 0; s < t; ++s)
-      if (candidates[i].get(coords[s]) != own_bits[s]) ++miss;
+      if (candidates[i].get(coords[s]) != (own_bits[s] != 0)) ++miss;
     scored.emplace_back(miss, i);
   }
   std::stable_sort(scored.begin(), scored.end());
 
-  std::vector<BitVector> finalists;
+  std::vector<ConstBitRow> finalists;
   std::vector<std::size_t> finalist_ids;
   finalists.reserve(max_finalists);
   for (std::size_t i = 0; i < max_finalists; ++i) {
@@ -155,6 +185,16 @@ SelectOutcome select_prefiltered(PlayerId p, std::span<const BitVector> candidat
   out.probes += inner.probes;
   out.pairs_probed = inner.pairs_probed;
   return out;
+}
+
+SelectOutcome select_prefiltered(PlayerId p, std::span<const BitVector> candidates,
+                                 std::span<const ObjectId> objects, ProtocolEnv& env,
+                                 std::uint64_t phase_key, std::size_t probes_per_pair,
+                                 std::size_t prefilter_probes,
+                                 std::size_t max_finalists, std::size_t skip_below) {
+  return select_prefiltered(p, as_views(candidates), objects, env, phase_key,
+                            probes_per_pair, prefilter_probes, max_finalists,
+                            skip_below);
 }
 
 }  // namespace colscore

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/common/assert.hpp"
+#include "src/common/bitmatrix.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/protocols/select.hpp"
 
@@ -44,9 +45,10 @@ SmallRadiusResult small_radius(std::span<const PlayerId> players,
       2, static_cast<std::size_t>(params.support_divisor *
                                   static_cast<double>(params.budget)));
 
-  // candidates[r][i] = candidate vector of players[i] from repeat r.
-  std::vector<std::vector<BitVector>> candidates(
-      params.repeats, std::vector<BitVector>(players.size()));
+  // candidates[r] row i = candidate vector of players[i] from repeat r.
+  // Contiguous rows: the per-subset parallel writes below touch only their
+  // own row, and BitMatrix rows never share a cache line.
+  std::vector<BitMatrix> candidates(params.repeats);
 
   for (std::size_t rep = 0; rep < params.repeats; ++rep) {
     const std::uint64_t rep_key = mix_keys(phase_key, 0x5e9ULL, rep);
@@ -57,7 +59,7 @@ SmallRadiusResult small_radius(std::span<const PlayerId> players,
     for (std::size_t j = 0; j < objects.size(); ++j)
       subset_coords[shared.below(s)].push_back(j);
 
-    for (auto& row : candidates[rep]) row = BitVector(objects.size());
+    candidates[rep] = BitMatrix(players.size(), objects.size());
 
     // Steps 2-3 per subset: ZeroRadius, support-vote U_i, per-player Select.
     for (std::size_t sub = 0; sub < s; ++sub) {
@@ -103,22 +105,23 @@ SmallRadiusResult small_radius(std::span<const PlayerId> players,
             params.probes_per_pair, params.prefilter_probes, params.max_finalists,
             /*skip_below=*/0);
         // Write the chosen subset vector into the repeat's full candidate.
+        BitRow row = candidates[rep].row(i);
         for (std::size_t j = 0; j < coords.size(); ++j)
-          candidates[rep][i].set(coords[j], ui[sel.chosen].get(j));
+          row.set(coords[j], ui[sel.chosen].get(j));
       });
     }
   }
 
-  // Final step: Select among the per-repeat candidates.
+  // Final step: Select among the per-repeat candidates (zero-copy views).
   parallel_for(0, players.size(), [&](std::size_t i) {
-    std::vector<BitVector> cands;
+    std::vector<ConstBitRow> cands;
     cands.reserve(params.repeats);
     for (std::size_t rep = 0; rep < params.repeats; ++rep)
-      cands.push_back(candidates[rep][i]);
+      cands.push_back(candidates[rep].row(i));
     const SelectOutcome sel = select_deterministic(
         players[i], cands, objects, env, mix_keys(phase_key, 0xf17a1ULL, players[i]),
         params.probes_per_pair, /*skip_below=*/params.diameter);
-    result.outputs[i] = std::move(cands[sel.chosen]);
+    result.outputs[i] = cands[sel.chosen].to_bitvector();
   });
 
   return result;

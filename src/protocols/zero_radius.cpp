@@ -72,12 +72,13 @@ BitVector adopt(PlayerId p, std::span<const ObjectId> objects,
   std::unordered_map<std::size_t, bool> probed;  // coord -> own truth
   std::size_t probes_used = 0;
   bool fell_back = false;
+  std::vector<std::size_t> diff;  // reused across elimination rounds
 
   while (alive.size() > 1) {
     // Deduplicate identical leaders to avoid probing ties.
     const BitVector& front = candidates[alive[0]].vector;
-    const std::vector<std::size_t> diff =
-        front.diff_positions(candidates[alive[1]].vector);
+    diff.clear();
+    front.diff_positions_into(candidates[alive[1]].vector, diff);
     if (diff.empty()) {
       alive.erase(alive.begin() + 1);
       continue;

@@ -46,6 +46,30 @@ TEST(NeighborGraph, SymmetricByConstruction) {
       EXPECT_EQ(g.has_edge(p, q), g.has_edge(q, p));
 }
 
+TEST(NeighborGraph, BitMatrixAndBitVectorFamiliesAgree) {
+  // The BitMatrix overload must produce the same edge set as the legacy
+  // std::vector<BitVector> one (same early-exit threshold semantics).
+  Rng rng(9);
+  const std::size_t n = 33, dim = 200;
+  std::vector<BitVector> zv;
+  BitMatrix zm(n, dim);
+  for (std::size_t i = 0; i < n; ++i) {
+    zv.push_back(random_bitvector(dim, rng));
+    zm.row(i) = zv.back();
+  }
+  for (std::size_t tau : {0UL, 90UL, 100UL, 110UL, dim}) {
+    const NeighborGraph a(zv, tau);
+    const NeighborGraph b(zm, tau);
+    for (PlayerId p = 0; p < n; ++p) {
+      for (PlayerId q = 0; q < n; ++q) {
+        EXPECT_EQ(a.has_edge(p, q), b.has_edge(p, q));
+        const bool expect = p != q && zv[p].hamming(zv[q]) <= tau;
+        EXPECT_EQ(a.has_edge(p, q), expect) << p << "," << q << " tau=" << tau;
+      }
+    }
+  }
+}
+
 TEST(ClusterPlayers, RecoversCleanGroups) {
   Rng rng(2);
   const auto z = grouped_vectors(60, 3, 128, rng);
@@ -133,6 +157,19 @@ TEST(ClusterPlayers, DiameterStaysBoundedOnPlanted) {
   for (const auto& cluster : c.clusters) {
     EXPECT_LE(w.matrix.diameter(cluster), 4 * D);
   }
+}
+
+TEST(Clustering, MinClusterSizeOfEmptyClusteringIsZero) {
+  // Regression: min_cluster_size() used to start from SIZE_MAX and only map
+  // the empty case back to 0 at the end; it now computes the min directly.
+  const Clustering empty;
+  EXPECT_EQ(empty.min_cluster_size(), 0u);
+  EXPECT_EQ(empty.max_cluster_size(), 0u);
+
+  Clustering one;
+  one.clusters.push_back({0, 1, 2});
+  EXPECT_EQ(one.min_cluster_size(), 3u);
+  EXPECT_EQ(one.max_cluster_size(), 3u);
 }
 
 TEST(ClusterPlayers, MinClusterOneDegenerates) {

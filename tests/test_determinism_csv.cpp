@@ -1,0 +1,56 @@
+// Fixed-seed golden outputs for the full protocol pipeline.
+//
+// These two rows were captured from the seed CLI (`colscore_cli --scenario
+// ... --csv`, wall-time column excluded) before the BitMatrix storage /
+// tiled-kernel rewrite landed. The whole pipeline — mix_keys seed
+// derivations, probe-charging order, tie-break coins, tournament outcomes —
+// is observable through them, so any refactor that perturbs per-seed
+// behaviour fails here byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "src/sim/suite.hpp"
+
+namespace colscore {
+namespace {
+
+std::string run_to_csv(const std::string& scenario_text) {
+  SuiteOptions options;
+  options.threads = 1;
+  options.derive_seeds = false;  // single runs keep their literal seed
+  std::ostringstream out;
+  CsvWriter writer(out, suite_csv_columns(/*include_wall=*/false));
+  options.on_result = [&](const SuiteRun& run) {
+    suite_csv_row(writer, run, /*include_wall=*/false);
+  };
+  SuiteRunner runner(options);
+  runner.run({ScenarioSpec::parse(scenario_text)});
+  return out.str();
+}
+
+constexpr char kHeader[] =
+    "workload,algorithm,adversary,n,budget,diameter,dishonest,seed,max_err,"
+    "mean_err,max_probes,honest_max_probes,total_probes,board_reports,"
+    "err_over_opt\n";
+
+TEST(DeterminismCsv, SleeperSeed3ByteIdentical) {
+  const std::string csv = run_to_csv(
+      "workload=planted n=128 budget=4 dishonest=8 adversary=sleeper seed=3 "
+      "opt=1");
+  EXPECT_EQ(csv, std::string(kHeader) +
+                     "planted,calculate_preferences,sleeper,128,4,16,8,3,8,"
+                     "3.94167,1310,1310,152489,32256,0.533333\n");
+}
+
+TEST(DeterminismCsv, RandomLiarSeed11ByteIdentical) {
+  const std::string csv = run_to_csv(
+      "workload=planted n=192 budget=4 dishonest=12 adversary=random_liar "
+      "seed=11 opt=1");
+  EXPECT_EQ(csv, std::string(kHeader) +
+                     "planted,calculate_preferences,random_liar,192,4,16,12,11,"
+                     "8,4.06667,1942,1942,340000,69120,0.5\n");
+}
+
+}  // namespace
+}  // namespace colscore

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Run a google-benchmark binary and distill its JSON into a compact record.
+
+Usage:
+    tools/bench_to_json.py BENCH_BINARY [--filter REGEX] [--out FILE]
+                           [--label KEY=VALUE ...]
+
+The full google-benchmark JSON is verbose (context + per-iteration noise);
+this keeps one entry per benchmark (name, real/cpu time in seconds,
+iterations, user counters) plus freeform labels (e.g. --label pr=2
+--label baseline_s=0.2508), which is what the BENCH_*.json trajectory files
+in the repo root record.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+
+
+def run_benchmark(binary: str, bench_filter: str | None) -> dict:
+    cmd = [binary, "--benchmark_format=json"]
+    if bench_filter:
+        cmd.append(f"--benchmark_filter={bench_filter}")
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        sys.stderr.write(proc.stderr)
+        raise SystemExit(f"benchmark binary failed with code {proc.returncode}")
+    return json.loads(proc.stdout)
+
+
+def to_seconds(value: float, unit: str) -> float:
+    scale = {"ns": 1e-9, "us": 1e-6, "ms": 1e-3, "s": 1.0}
+    return value * scale.get(unit, 1.0)
+
+
+def distill(raw: dict) -> list[dict]:
+    reserved = {
+        "name", "run_name", "run_type", "repetitions", "repetition_index",
+        "threads", "iterations", "real_time", "cpu_time", "time_unit",
+        "family_index", "per_family_instance_index", "aggregate_name",
+        "aggregate_unit", "label", "error_occurred", "error_message",
+    }
+    out = []
+    for b in raw.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        entry = {
+            "name": b["name"],
+            "real_time_s": to_seconds(b["real_time"], b.get("time_unit", "s")),
+            "cpu_time_s": to_seconds(b["cpu_time"], b.get("time_unit", "s")),
+            "iterations": b.get("iterations", 0),
+        }
+        counters = {k: v for k, v in b.items() if k not in reserved}
+        if counters:
+            entry["counters"] = counters
+        out.append(entry)
+    return out
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary", help="google-benchmark executable")
+    parser.add_argument("--filter", default=None, help="--benchmark_filter regex")
+    parser.add_argument("--out", default=None, help="output path (default stdout)")
+    parser.add_argument("--label", action="append", default=[],
+                        metavar="KEY=VALUE", help="freeform labels for the record")
+    args = parser.parse_args()
+
+    labels = {}
+    for item in args.label:
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise SystemExit(f"--label expects KEY=VALUE, got '{item}'")
+        labels[key] = value
+
+    raw = run_benchmark(args.binary, args.filter)
+    record = {
+        "host": raw.get("context", {}).get("host_name", ""),
+        "num_cpus": raw.get("context", {}).get("num_cpus", 0),
+        "date": raw.get("context", {}).get("date", ""),
+        "labels": labels,
+        "benchmarks": distill(raw),
+    }
+    text = json.dumps(record, indent=2) + "\n"
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+
+
+if __name__ == "__main__":
+    main()
