@@ -1,0 +1,82 @@
+// Whole-suite throughput: the tracked perf metric from PR 3 onward.
+//
+// PR 2 made single kernels fast; the ROADMAP north-star is million-run
+// sweeps, so the number that matters is end-to-end runs/sec through
+// SuiteRunner — world build, probes, board traffic, clustering, voting,
+// select tournaments, metrics — not any one loop. This pins a representative
+// grid (n=256,512 x adversary=none,hijacker,sleeper, three seeds, full
+// calculate_preferences, OPT off) and times complete suites on one thread.
+//
+// The acceptance configuration for PR 3 is BM_SuiteThroughput (18 runs);
+// tools/bench_to_json.py distills the JSON into BENCH_pr3.json. Build
+// Release (-O3 + LTO) for recorded numbers.
+#include <benchmark/benchmark.h>
+
+#include "src/common/thread_pool.hpp"
+#include "src/sim/suite.hpp"
+
+namespace colscore {
+namespace {
+
+constexpr char kBaseSpec[] =
+    "workload=planted budget=8 dishonest=8 opt=0";
+constexpr char kGrid[] =
+    "n=256,512 x adversary=none,hijacker,sleeper x seed=1,2,3";
+
+std::vector<ScenarioSpec> pinned_specs() {
+  return expand_grid(ScenarioSpec::parse(kBaseSpec), parse_grid(kGrid));
+}
+
+void BM_SuiteThroughput(benchmark::State& state) {
+  ThreadPool::reset_global(1);
+  const std::vector<ScenarioSpec> specs = pinned_specs();
+  SuiteOptions options;
+  options.threads = 1;  // single thread: measure work, not the box's cores
+  std::size_t runs = 0;
+  std::uint64_t total_probes = 0;
+  for (auto _ : state) {
+    SuiteRunner runner(options);
+    const std::vector<SuiteRun> results = runner.run(specs);
+    runs = results.size();
+    total_probes = 0;
+    for (const SuiteRun& r : results) total_probes += r.outcome.total_probes;
+    benchmark::DoNotOptimize(total_probes);
+  }
+  state.counters["runs"] = static_cast<double>(runs);
+  state.counters["total_probes"] = static_cast<double>(total_probes);
+  state.counters["runs_per_s"] = benchmark::Counter(
+      static_cast<double>(runs), benchmark::Counter::kIsIterationInvariantRate);
+  ThreadPool::reset_global(0);
+}
+
+// The same grid driven through the reps= replication axis (PR 3): 6 cells x
+// 3 reps = 18 runs with per-rep derived seeds — the natural stressor for
+// multi-seed sweeps, and a check that replication adds no overhead beyond
+// the runs themselves.
+void BM_SuiteThroughputReps(benchmark::State& state) {
+  ThreadPool::reset_global(1);
+  const std::vector<ScenarioSpec> specs = expand_grid(
+      ScenarioSpec::parse(kBaseSpec),
+      parse_grid("n=256,512 x adversary=none,hijacker,sleeper"));
+  SuiteOptions options;
+  options.threads = 1;
+  options.reps = 3;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    SuiteRunner runner(options);
+    runs = runner.run(specs).size();
+    benchmark::DoNotOptimize(runs);
+  }
+  state.counters["runs"] = static_cast<double>(runs);
+  state.counters["runs_per_s"] = benchmark::Counter(
+      static_cast<double>(runs), benchmark::Counter::kIsIterationInvariantRate);
+  ThreadPool::reset_global(0);
+}
+
+BENCHMARK(BM_SuiteThroughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SuiteThroughputReps)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace colscore
+
+BENCHMARK_MAIN();

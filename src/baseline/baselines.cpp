@@ -40,8 +40,7 @@ ProtocolResult probe_all(ProtocolEnv& env) {
   const auto before = probe_snapshot(env.oracle);
   result.outputs.assign(n, BitVector(n_objects));
   parallel_for(0, n, [&](std::size_t p) {
-    for (ObjectId o = 0; o < n_objects; ++o)
-      result.outputs[p].set(o, env.own_probe(static_cast<PlayerId>(p), o));
+    env.own_probe_row(static_cast<PlayerId>(p), 0, n_objects, result.outputs[p]);
   });
   fill_probe_deltas(result, env.oracle, before);
   return result;
@@ -80,8 +79,7 @@ ProtocolResult oracle_clusters(ProtocolEnv& env, const World& world,
   // Background players get no collaboration: they probe everything.
   parallel_for(0, n, [&](std::size_t p) {
     if (world.cluster_of[p] != kNoCluster) return;
-    for (ObjectId o = 0; o < n_objects; ++o)
-      result.outputs[p].set(o, env.own_probe(static_cast<PlayerId>(p), o));
+    env.own_probe_row(static_cast<PlayerId>(p), 0, n_objects, result.outputs[p]);
   });
 
   fill_probe_deltas(result, env.oracle, before);

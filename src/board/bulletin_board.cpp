@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/assert.hpp"
 #include "src/common/rng.hpp"
 
 namespace colscore {
@@ -16,6 +17,22 @@ void BulletinBoard::post_report(std::uint64_t tag, PlayerId author, ObjectId obj
   ReportShard& shard = report_shards_[key % kShards];
   std::lock_guard lock(shard.mutex);
   shard.by_key[key].push_back(ProbeReport{author, object, value});
+  report_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void BulletinBoard::post_reports(std::uint64_t tag, ObjectId object,
+                                 std::span<const PlayerId> authors,
+                                 std::span<const std::uint8_t> values) {
+  CS_ASSERT(authors.size() == values.size(), "post_reports: size mismatch");
+  if (authors.empty()) return;
+  const std::uint64_t key = report_key(tag, object);
+  ReportShard& shard = report_shards_[key % kShards];
+  std::lock_guard lock(shard.mutex);
+  auto& bucket = shard.by_key[key];
+  bucket.reserve(bucket.size() + authors.size());
+  for (std::size_t i = 0; i < authors.size(); ++i)
+    bucket.push_back(ProbeReport{authors[i], object, values[i] != 0});
+  report_count_.fetch_add(authors.size(), std::memory_order_relaxed);
 }
 
 std::vector<ProbeReport> BulletinBoard::reports_for(std::uint64_t tag,
@@ -45,6 +62,14 @@ void BulletinBoard::post_vector(std::uint64_t tag, PlayerId author, BitVector ve
   VectorShard& shard = vector_shards_[tag % kShards];
   std::lock_guard lock(shard.mutex);
   shard.by_tag[tag].push_back(VectorPost{author, std::move(vector)});
+  vector_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+BulletinBoard::VectorChannelWriter BulletinBoard::vector_channel(std::uint64_t tag) {
+  VectorShard& shard = vector_shards_[tag % kShards];
+  std::unique_lock lock(shard.mutex);
+  std::vector<VectorPost>& bucket = shard.by_tag[tag];
+  return VectorChannelWriter(std::move(lock), bucket, vector_count_);
 }
 
 std::vector<VectorPost> BulletinBoard::vectors(std::uint64_t tag) const {
@@ -56,22 +81,54 @@ std::vector<VectorPost> BulletinBoard::vectors(std::uint64_t tag) const {
 
 std::vector<BulletinBoard::SupportedVector> BulletinBoard::vectors_by_support(
     std::uint64_t tag) const {
-  const std::vector<VectorPost> posts = vectors(tag);
+  // Count support in place under the shard lock: the full post list used to
+  // be deep-copied first, which dominated ZeroRadius merges (every posted
+  // vector copied once per support query). Only distinct vectors are copied
+  // out.
+  const VectorShard& shard = vector_shards_[tag % kShards];
+  std::lock_guard lock(shard.mutex);
+  static const std::vector<VectorPost> kNoPosts;
+  auto it = shard.by_tag.find(tag);
+  const std::vector<VectorPost>& posts = it == shard.by_tag.end() ? kNoPosts
+                                                                  : it->second;
+  // Distinct-vector dedup: a flat hash list scanned linearly while the
+  // distinct count stays small (the overwhelmingly common case — support
+  // channels converge on a handful of vectors), with a hash-map fallback
+  // once it grows. The flat path does no per-post allocation.
+  constexpr std::size_t kFlatLimit = 48;
   std::vector<SupportedVector> out;
+  std::vector<std::uint64_t> hashes;
   std::unordered_map<std::uint64_t, std::vector<std::size_t>> by_hash;
+  bool use_map = false;
   for (const VectorPost& post : posts) {
     const std::uint64_t h = post.vector.content_hash();
-    auto& candidates = by_hash[h];
     bool found = false;
-    for (std::size_t idx : candidates) {
-      if (out[idx].vector == post.vector) {
-        ++out[idx].support;
-        found = true;
-        break;
+    if (!use_map) {
+      for (std::size_t idx = 0; idx < out.size(); ++idx) {
+        if (hashes[idx] == h && out[idx].vector == post.vector) {
+          ++out[idx].support;
+          found = true;
+          break;
+        }
+      }
+    } else {
+      for (std::size_t idx : by_hash[h]) {
+        if (out[idx].vector == post.vector) {
+          ++out[idx].support;
+          found = true;
+          break;
+        }
       }
     }
     if (!found) {
-      candidates.push_back(out.size());
+      if (!use_map && out.size() == kFlatLimit) {
+        // Too many distinct vectors for linear scans; index what we have.
+        use_map = true;
+        for (std::size_t idx = 0; idx < out.size(); ++idx)
+          by_hash[hashes[idx]].push_back(idx);
+      }
+      if (use_map) by_hash[h].push_back(out.size());
+      hashes.push_back(h);
       out.push_back(SupportedVector{post.vector, 1});
     }
   }
@@ -83,21 +140,11 @@ std::vector<BulletinBoard::SupportedVector> BulletinBoard::vectors_by_support(
 }
 
 std::uint64_t BulletinBoard::report_count() const {
-  std::uint64_t total = 0;
-  for (const auto& shard : report_shards_) {
-    std::lock_guard lock(shard.mutex);
-    for (const auto& [key, reports] : shard.by_key) total += reports.size();
-  }
-  return total;
+  return report_count_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t BulletinBoard::vector_count() const {
-  std::uint64_t total = 0;
-  for (const auto& shard : vector_shards_) {
-    std::lock_guard lock(shard.mutex);
-    for (const auto& [tag, posts] : shard.by_tag) total += posts.size();
-  }
-  return total;
+  return vector_count_.load(std::memory_order_relaxed);
 }
 
 }  // namespace colscore

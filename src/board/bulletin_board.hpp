@@ -10,8 +10,10 @@
 // Channels are identified by 64-bit tags derived from protocol phase keys.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +42,14 @@ class BulletinBoard {
   // ---- probe-report channel -------------------------------------------
   void post_report(std::uint64_t tag, PlayerId author, ObjectId object, bool value);
 
+  /// Posts authors[i] claiming values[i] about `object`, in order — board
+  /// state identical to post_report in a loop, but one key derivation, one
+  /// lock acquisition, and one bucket lookup for the whole block (the voting
+  /// loop posts every object's k votes at once).
+  void post_reports(std::uint64_t tag, ObjectId object,
+                    std::span<const PlayerId> authors,
+                    std::span<const std::uint8_t> values);
+
   /// All reports about `object` on channel `tag` (posting order).
   std::vector<ProbeReport> reports_for(std::uint64_t tag, ObjectId object) const;
 
@@ -48,6 +58,30 @@ class BulletinBoard {
 
   // ---- vector channel ---------------------------------------------------
   void post_vector(std::uint64_t tag, PlayerId author, BitVector vector);
+
+  /// Locked appender for a serial publication loop: one shard lock and one
+  /// bucket lookup amortized over every post to the channel. Board state is
+  /// identical to calling post_vector per player in the same order. Holds
+  /// the shard lock for its lifetime — keep the scope tight and do not
+  /// touch other board channels while it lives.
+  class VectorChannelWriter {
+   public:
+    void post(PlayerId author, BitVector vector) {
+      bucket_->push_back(VectorPost{author, std::move(vector)});
+      count_->fetch_add(1, std::memory_order_relaxed);
+    }
+
+   private:
+    friend class BulletinBoard;
+    VectorChannelWriter(std::unique_lock<std::mutex> lock,
+                        std::vector<VectorPost>& bucket,
+                        std::atomic<std::uint64_t>& count)
+        : lock_(std::move(lock)), bucket_(&bucket), count_(&count) {}
+    std::unique_lock<std::mutex> lock_;
+    std::vector<VectorPost>* bucket_;
+    std::atomic<std::uint64_t>* count_;
+  };
+  VectorChannelWriter vector_channel(std::uint64_t tag);
 
   /// All vector posts on channel `tag` (posting order per shard).
   std::vector<VectorPost> vectors(std::uint64_t tag) const;
@@ -80,6 +114,10 @@ class BulletinBoard {
 
   ReportShard report_shards_[kShards];
   VectorShard vector_shards_[kShards];
+  // Running totals so the per-run accounting reads are O(1) instead of a
+  // full walk over every shard bucket.
+  std::atomic<std::uint64_t> report_count_{0};
+  std::atomic<std::uint64_t> vector_count_{0};
 };
 
 }  // namespace colscore

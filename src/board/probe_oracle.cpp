@@ -1,23 +1,28 @@
 #include "src/board/probe_oracle.hpp"
 
 #include "src/common/assert.hpp"
+#include "src/common/bitkernels.hpp"
+#include "src/common/workspace.hpp"
 
 namespace colscore {
 
-ProbeOracle::ProbeOracle(const TruthSource& truth, BudgetMode mode, std::uint64_t budget)
-    : truth_(&truth), mode_(mode), budget_(budget), counts_(truth.n_players()) {
-  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+void TruthSource::fill_row_words(PlayerId p, ObjectId first_object, std::size_t n,
+                                 std::uint64_t* out) const {
+  const std::size_t words = bitkernel::word_count(n);
+  for (std::size_t w = 0; w < words; ++w) out[w] = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    if (preference(p, static_cast<ObjectId>(first_object + i)))
+      out[i / bitkernel::kWordBits] |= 1ULL << (i % bitkernel::kWordBits);
 }
 
-bool ProbeOracle::probe(PlayerId p, ObjectId o) {
-  CS_ASSERT(p < counts_.size(), "probe: bad player id");
-  CS_ASSERT(o < truth_->n_objects(), "probe: bad object id");
-  const std::uint64_t now =
-      counts_[p].fetch_add(1, std::memory_order_relaxed) + 1;
-  if (mode_ == BudgetMode::kHard) {
-    CS_ASSERT(now <= budget_, "probe budget exceeded in kHard mode");
-  }
-  return truth_->preference(p, o);
+ProbeOracle::ProbeOracle(const TruthSource& truth, BudgetMode mode, std::uint64_t budget)
+    : truth_(&truth), mode_(mode), budget_(budget),
+      n_objects_(truth.n_objects()), counts_(truth.n_players()) {
+  // Assigned here, not in the init list: packed_rows writes the stride
+  // through its out-parameter, which must not race the members' default
+  // initializers.
+  packed_ = truth.packed_rows(&packed_stride_);
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
 }
 
 void ProbeOracle::probe_many(PlayerId p, std::span<const ObjectId> objects,
@@ -25,20 +30,90 @@ void ProbeOracle::probe_many(PlayerId p, std::span<const ObjectId> objects,
   CS_ASSERT(p < counts_.size(), "probe_many: bad player id");
   CS_ASSERT(out.size() >= objects.size(), "probe_many: output too small");
   if (objects.empty()) return;
-  const std::uint64_t now =
-      counts_[p].fetch_add(objects.size(), std::memory_order_relaxed) +
-      objects.size();
-  if (mode_ == BudgetMode::kHard) {
-    CS_ASSERT(now <= budget_, "probe budget exceeded in kHard mode");
-  }
+  charge(p, objects.size());
   for (std::size_t i = 0; i < objects.size(); ++i) {
     CS_ASSERT(objects[i] < truth_->n_objects(), "probe_many: bad object id");
     out[i] = truth_->preference(p, objects[i]) ? 1 : 0;
   }
 }
 
-bool ProbeOracle::adversary_peek(PlayerId p, ObjectId o) const {
-  return truth_->preference(p, o);
+void ProbeOracle::probe_row(PlayerId p, ObjectId first_object, std::size_t n,
+                            BitRow out) {
+  CS_ASSERT(p < counts_.size(), "probe_row: bad player id");
+  CS_ASSERT(out.size() == n, "probe_row: output size mismatch");
+  if (n == 0) return;
+  CS_ASSERT(first_object + n <= n_objects_, "probe_row: bad object range");
+  charge(p, n);
+  if (packed_ != nullptr) {
+    bitkernel::extract_bits(packed_ + p * packed_stride_,
+                            bitkernel::word_count(n_objects_), first_object, n,
+                            out.word_data());
+    return;
+  }
+  truth_->fill_row_words(p, first_object, n, out.word_data());
+}
+
+void ProbeOracle::gather_into(PlayerId p, std::span<const ObjectId> objects,
+                              BitRow out) const {
+  // Packed sources gather straight off the row with inline word math.
+  if (packed_ != nullptr) {
+    const std::uint64_t* row = packed_ + p * packed_stride_;
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      CS_ASSERT(objects[i] < n_objects_, "probe_gather: bad object id");
+      out.set(i, (row[objects[i] / 64] >> (objects[i] % 64)) & 1ULL);
+    }
+    return;
+  }
+  const std::size_t row_words = bitkernel::word_count(n_objects_);
+  // A staged full-row read costs ~row_words word writes once; per-bit reads
+  // cost one virtual call each. Stage whenever the slate is at least a
+  // quarter of the row's word count; only tiny slates against very wide
+  // rows read bit by bit.
+  if (objects.size() >= 4 && 4 * objects.size() >= row_words) {
+    auto& staging = RunWorkspace::current().probe_row_words;
+    staging.resize(row_words);
+    truth_->fill_row_words(p, 0, n_objects_, staging.data());
+    const ConstBitRow row(staging.data(), n_objects_);
+    for (std::size_t i = 0; i < objects.size(); ++i) {
+      CS_ASSERT(objects[i] < n_objects_, "probe_gather: bad object id");
+      out.set(i, row.get(objects[i]));
+    }
+    return;
+  }
+  for (std::size_t i = 0; i < objects.size(); ++i) {
+    CS_ASSERT(objects[i] < n_objects_, "probe_gather: bad object id");
+    out.set(i, truth_->preference(p, objects[i]));
+  }
+}
+
+void ProbeOracle::probe_gather(PlayerId p, std::span<const ObjectId> objects,
+                               BitRow out) {
+  CS_ASSERT(p < counts_.size(), "probe_gather: bad player id");
+  CS_ASSERT(out.size() >= objects.size(), "probe_gather: output too small");
+  if (objects.empty()) return;
+  charge(p, objects.size());
+  gather_into(p, objects, out);
+}
+
+void ProbeOracle::adversary_peek_row(PlayerId p, ObjectId first_object,
+                                     std::size_t n, BitRow out) const {
+  CS_ASSERT(out.size() == n, "adversary_peek_row: output size mismatch");
+  if (n == 0) return;
+  CS_ASSERT(first_object + n <= n_objects_, "adversary_peek_row: bad object range");
+  if (packed_ != nullptr) {
+    bitkernel::extract_bits(packed_ + p * packed_stride_,
+                            bitkernel::word_count(n_objects_), first_object, n,
+                            out.word_data());
+    return;
+  }
+  truth_->fill_row_words(p, first_object, n, out.word_data());
+}
+
+void ProbeOracle::adversary_peek_gather(PlayerId p,
+                                        std::span<const ObjectId> objects,
+                                        BitRow out) const {
+  CS_ASSERT(out.size() >= objects.size(), "adversary_peek_gather: output too small");
+  gather_into(p, objects, out);
 }
 
 std::uint64_t ProbeOracle::probes_by(PlayerId p) const {

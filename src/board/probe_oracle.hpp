@@ -9,6 +9,8 @@
 #include <span>
 #include <vector>
 
+#include "src/common/assert.hpp"
+#include "src/common/bitvector.hpp"
 #include "src/common/types.hpp"
 
 namespace colscore {
@@ -22,6 +24,24 @@ class TruthSource {
   virtual bool preference(PlayerId p, ObjectId o) const = 0;
   virtual std::size_t n_players() const = 0;
   virtual std::size_t n_objects() const = 0;
+
+  /// Packed bulk read: bit i of `out` = preference(p, first_object + i) for
+  /// i in [0, n). Writes bitkernel::word_count(n) words; padding bits past n
+  /// in the last word are zero. The default walks preference() bit by bit;
+  /// bit-packed implementations (PreferenceMatrix) override it with word
+  /// copies so a whole row costs a memcpy instead of n virtual calls.
+  virtual void fill_row_words(PlayerId p, ObjectId first_object, std::size_t n,
+                              std::uint64_t* out) const;
+
+  /// Flat-storage hint: implementations whose rows live as contiguous
+  /// 64-bit words (player p's row at base + p * stride, valid as long as
+  /// the source) return the base pointer and set `word_stride`; others
+  /// return nullptr. The oracle queries this once and then reads truth
+  /// bits with inline word math — no virtual dispatch per probe.
+  virtual const std::uint64_t* packed_rows(std::size_t* word_stride) const {
+    (void)word_stride;
+    return nullptr;
+  }
 };
 
 class ProbeOracle {
@@ -34,8 +54,15 @@ class ProbeOracle {
   explicit ProbeOracle(const TruthSource& truth, BudgetMode mode = BudgetMode::kTrack,
                        std::uint64_t budget = 0);
 
-  /// Performs one probe: charges player p and returns v(p)_o.
-  bool probe(PlayerId p, ObjectId o);
+  /// Performs one probe: charges player p and returns v(p)_o. Inline, with
+  /// a dispatch-free read when the truth source is packed — single probes
+  /// from adaptive elimination loops are one of the hottest paths.
+  bool probe(PlayerId p, ObjectId o) {
+    CS_ASSERT(p < counts_.size(), "probe: bad player id");
+    CS_ASSERT(o < n_objects_, "probe: bad object id");
+    charge(p, 1);
+    return read_bit(p, o);
+  }
 
   /// Batch probe: fills out[i] = v(p)_objects[i], charging all
   /// objects.size() probes to p in a single counter round-trip. Semantically
@@ -45,10 +72,33 @@ class ProbeOracle {
   void probe_many(PlayerId p, std::span<const ObjectId> objects,
                   std::span<std::uint8_t> out);
 
+  /// Word-level probe: fills out with v(p) over the contiguous object range
+  /// [first_object, first_object + n), charging all n probes in a single
+  /// counter round-trip and moving the bits through TruthSource's packed
+  /// bulk read instead of n virtual calls. `out` must view exactly n bits;
+  /// its padding stays zero. Semantically identical to probing each object
+  /// in order.
+  void probe_row(PlayerId p, ObjectId first_object, std::size_t n, BitRow out);
+
+  /// Batched scattered probe: bit i of `out` = v(p)_objects[i], charging
+  /// objects.size() probes at once (duplicates pay, like repeated probe()
+  /// calls without a memo). For slates big enough to amortize it, the truth
+  /// row is staged once through fill_row_words and the bits are extracted
+  /// locally; small slates read per bit. `out` must view at least
+  /// objects.size() bits.
+  void probe_gather(PlayerId p, std::span<const ObjectId> objects, BitRow out);
+
+  /// Uncharged forms of the two bulk reads above, for dishonest players
+  /// (same rationale as adversary_peek).
+  void adversary_peek_row(PlayerId p, ObjectId first_object, std::size_t n,
+                          BitRow out) const;
+  void adversary_peek_gather(PlayerId p, std::span<const ObjectId> objects,
+                             BitRow out) const;
+
   /// Reads truth WITHOUT charging. Only adversaries use this (the paper's
   /// Byzantine players are omniscient, see DESIGN §2); honest protocol code
   /// must never call it — tests enforce this by budget accounting.
-  bool adversary_peek(PlayerId p, ObjectId o) const;
+  bool adversary_peek(PlayerId p, ObjectId o) const { return read_bit(p, o); }
 
   std::uint64_t probes_by(PlayerId p) const;
   std::uint64_t total_probes() const;
@@ -57,13 +107,52 @@ class ProbeOracle {
   /// Resets all counters (between experiment repetitions).
   void reset_counts();
 
+  /// Execution hint: when the caller knows no two threads will ever charge
+  /// concurrently (the worker pool is single-threaded, so every protocol
+  /// loop runs inline), counters may use plain read-modify-writes instead
+  /// of lock-prefixed atomic RMWs — a measurable win at tens of millions
+  /// of charges per suite. Leave off in any multi-threaded setting: exact
+  /// counting under concurrent probes is part of the oracle contract.
+  void set_serial_charging(bool on) { serial_charges_ = on; }
+
   std::size_t n_players() const { return truth_->n_players(); }
   std::size_t n_objects() const { return truth_->n_objects(); }
 
  private:
+  /// Adds `amount` probes to p's counter (single round-trip) and enforces
+  /// the kHard budget.
+  void charge(PlayerId p, std::uint64_t amount) {
+    std::uint64_t now;
+    if (serial_charges_) {
+      now = counts_[p].load(std::memory_order_relaxed) + amount;
+      counts_[p].store(now, std::memory_order_relaxed);
+    } else {
+      now = counts_[p].fetch_add(amount, std::memory_order_relaxed) + amount;
+    }
+    if (mode_ == BudgetMode::kHard) {
+      CS_ASSERT(now <= budget_, "probe budget exceeded in kHard mode");
+    }
+  }
+
+  /// Uncharged truth read: inline word math for packed sources, virtual
+  /// dispatch otherwise.
+  bool read_bit(PlayerId p, ObjectId o) const {
+    if (packed_ != nullptr)
+      return (packed_[p * packed_stride_ + o / 64] >> (o % 64)) & 1ULL;
+    return truth_->preference(p, o);
+  }
+
+  void gather_into(PlayerId p, std::span<const ObjectId> objects, BitRow out) const;
+
   const TruthSource* truth_;
   BudgetMode mode_;
   std::uint64_t budget_;
+  /// Cached flat-storage hint (see TruthSource::packed_rows) and object
+  /// count, so the hot probe paths never touch the vtable.
+  const std::uint64_t* packed_ = nullptr;
+  std::size_t packed_stride_ = 0;
+  std::size_t n_objects_ = 0;
+  bool serial_charges_ = false;
   std::vector<std::atomic<std::uint64_t>> counts_;
 };
 

@@ -86,6 +86,31 @@ inline void diff_positions_into(const std::uint64_t* a, const std::uint64_t* b,
   }
 }
 
+/// Copies bits [first, first + n) of a packed source row into `out` (bit i
+/// of out = source bit first + i). Writes word_count(n) words; padding bits
+/// past n in the last word come out zero. `src_words` is the number of
+/// valid words at `src` — reads never go past it (the tail beyond a
+/// partial last word is treated as zero).
+inline void extract_bits(const std::uint64_t* src, std::size_t src_words,
+                         std::size_t first, std::size_t n, std::uint64_t* out) {
+  if (n == 0) return;
+  const std::size_t out_words = word_count(n);
+  const std::size_t base = first / kWordBits;
+  const std::size_t off = first % kWordBits;
+  if (off == 0) {
+    for (std::size_t i = 0; i < out_words; ++i) out[i] = src[base + i];
+  } else {
+    for (std::size_t i = 0; i < out_words; ++i) {
+      const std::uint64_t lo = src[base + i] >> off;
+      const std::uint64_t hi =
+          base + i + 1 < src_words ? src[base + i + 1] << (kWordBits - off) : 0;
+      out[i] = lo | hi;
+    }
+  }
+  const std::size_t rem = n % kWordBits;
+  if (rem != 0) out[out_words - 1] &= (1ULL << rem) - 1;
+}
+
 /// Stable fnv-style content hash; must produce identical values for identical
 /// bit content whether the bits live in a BitVector or a BitMatrix row (the
 /// deterministic Select variant keys probe streams off this).

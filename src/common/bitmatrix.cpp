@@ -27,7 +27,7 @@ std::uint64_t* alloc_words(std::size_t words) {
 
 BitMatrix::BitMatrix(std::size_t rows, std::size_t cols, bool value)
     : rows_(rows), cols_(cols), stride_(aligned_stride(cols)),
-      words_(alloc_words(rows * stride_)) {
+      capacity_words_(rows * stride_), words_(alloc_words(rows * stride_)) {
   if (total_words() == 0) return;
   if (!value) {
     std::memset(words_.get(), 0, total_words() * sizeof(std::uint64_t));
@@ -40,7 +40,7 @@ BitMatrix::BitMatrix(std::size_t rows, std::size_t cols, bool value)
 
 BitMatrix::BitMatrix(const BitMatrix& other)
     : rows_(other.rows_), cols_(other.cols_), stride_(other.stride_),
-      words_(alloc_words(other.total_words())) {
+      capacity_words_(other.total_words()), words_(alloc_words(other.total_words())) {
   if (total_words() != 0)
     std::memcpy(words_.get(), other.words_.get(),
                 total_words() * sizeof(std::uint64_t));
@@ -55,8 +55,8 @@ BitMatrix& BitMatrix::operator=(const BitMatrix& other) {
 
 BitMatrix::BitMatrix(BitMatrix&& other) noexcept
     : rows_(other.rows_), cols_(other.cols_), stride_(other.stride_),
-      words_(std::move(other.words_)) {
-  other.rows_ = other.cols_ = other.stride_ = 0;
+      capacity_words_(other.capacity_words_), words_(std::move(other.words_)) {
+  other.rows_ = other.cols_ = other.stride_ = other.capacity_words_ = 0;
 }
 
 BitMatrix& BitMatrix::operator=(BitMatrix&& other) noexcept {
@@ -64,9 +64,24 @@ BitMatrix& BitMatrix::operator=(BitMatrix&& other) noexcept {
   rows_ = other.rows_;
   cols_ = other.cols_;
   stride_ = other.stride_;
+  capacity_words_ = other.capacity_words_;
   words_ = std::move(other.words_);
-  other.rows_ = other.cols_ = other.stride_ = 0;
+  other.rows_ = other.cols_ = other.stride_ = other.capacity_words_ = 0;
   return *this;
+}
+
+void BitMatrix::reset(std::size_t rows, std::size_t cols) {
+  const std::size_t stride = aligned_stride(cols);
+  const std::size_t needed = rows * stride;
+  if (needed > capacity_words_) {
+    words_.reset(alloc_words(needed));
+    capacity_words_ = needed;
+  }
+  rows_ = rows;
+  cols_ = cols;
+  stride_ = stride;
+  if (needed != 0)
+    std::memset(words_.get(), 0, needed * sizeof(std::uint64_t));
 }
 
 void BitMatrix::fill(bool value) noexcept {

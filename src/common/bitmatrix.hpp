@@ -41,6 +41,11 @@ class BitMatrix {
   BitMatrix(BitMatrix&& other) noexcept;
   BitMatrix& operator=(BitMatrix&& other) noexcept;
 
+  /// Reshapes to rows x cols with every bit zero, reusing the existing
+  /// allocation when it is large enough (workspace pooling across runs).
+  /// All layout invariants above hold afterwards.
+  void reset(std::size_t rows, std::size_t cols);
+
   std::size_t rows() const noexcept { return rows_; }
   std::size_t cols() const noexcept { return cols_; }
   bool empty() const noexcept { return rows_ == 0; }
@@ -74,6 +79,7 @@ class BitMatrix {
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::size_t stride_ = 0;
+  std::size_t capacity_words_ = 0;  // allocation size; >= total_words()
   std::unique_ptr<std::uint64_t[], FreeDeleter> words_;
 };
 

@@ -61,6 +61,30 @@ void BitRow::fill(bool value) noexcept {
   if (rem != 0 && words != 0) mwords_[words - 1] &= (1ULL << rem) - 1;
 }
 
+void BitRow::randomize(Rng& rng, double density) noexcept {
+  if (density == 0.5) {
+    const std::size_t words = word_count(bits_);
+    for (std::size_t i = 0; i < words; ++i) mwords_[i] = rng();
+    const std::size_t rem = bits_ % kWordBits;
+    if (rem != 0 && words != 0) mwords_[words - 1] &= (1ULL << rem) - 1;
+    return;
+  }
+  for (std::size_t i = 0; i < bits_; ++i) set(i, rng.chance(density));
+}
+
+void BitRow::flip_random(Rng& rng, std::size_t count) {
+  CS_ASSERT(count <= bits_, "flip_random: count exceeds size");
+  // Floyd's algorithm for a uniform k-subset without replacement.
+  std::vector<std::size_t> chosen;
+  chosen.reserve(count);
+  for (std::size_t j = bits_ - count; j < bits_; ++j) {
+    const std::size_t t = rng.below(j + 1);
+    bool already = std::find(chosen.begin(), chosen.end(), t) != chosen.end();
+    chosen.push_back(already ? j : t);
+  }
+  for (std::size_t pos : chosen) flip(pos);
+}
+
 BitRow& BitRow::operator=(const ConstBitRow& src) noexcept {
   CS_ASSERT(bits_ == src.size(), "BitRow assign: size mismatch");
   if (bits_ != 0)
@@ -92,38 +116,94 @@ BitRow& BitRow::operator|=(ConstBitRow other) noexcept {
 
 // ---- BitVector --------------------------------------------------------------
 
-BitVector::BitVector(std::size_t size, bool value)
-    : size_(size), words_(word_count(size), value ? ~0ULL : 0ULL) {
-  clear_padding();
+void BitVector::acquire(std::size_t size) {
+  size_ = size;
+  const std::size_t words = word_count(size);
+  if (words <= kInlineWords) {
+    for (std::size_t i = 0; i < kInlineWords; ++i) store_.inline_words[i] = 0;
+  } else {
+    store_.heap = static_cast<std::uint64_t*>(
+        std::calloc(words, sizeof(std::uint64_t)));
+    CS_ASSERT(store_.heap != nullptr, "BitVector: allocation failed");
+  }
 }
 
-BitVector::BitVector(ConstBitRow row) : size_(row.size()), words_(word_count(row.size())) {
+void BitVector::release() noexcept {
+  if (!is_inline()) std::free(store_.heap);
+}
+
+BitVector::BitVector(std::size_t size, bool value) {
+  acquire(size);
+  if (value) fill(true);
+}
+
+BitVector::BitVector(ConstBitRow row) {
+  acquire(row.size());
   if (size_ != 0)
-    std::memcpy(words_.data(), row.words().data(),
+    std::memcpy(word_ptr(), row.words().data(),
                 word_count(size_) * sizeof(std::uint64_t));
+}
+
+BitVector::BitVector(const BitVector& other) {
+  acquire(other.size_);
+  if (size_ != 0)
+    std::memcpy(word_ptr(), other.word_ptr(),
+                word_count(size_) * sizeof(std::uint64_t));
+}
+
+BitVector::BitVector(BitVector&& other) noexcept
+    : size_(other.size_), store_(other.store_) {
+  other.size_ = 0;
+  other.store_.heap = nullptr;
+}
+
+BitVector& BitVector::operator=(const BitVector& other) {
+  if (this == &other) return *this;
+  if (word_count(size_) != word_count(other.size_) || is_inline() != other.is_inline()) {
+    release();
+    acquire(other.size_);
+  } else {
+    size_ = other.size_;
+  }
+  if (size_ != 0)
+    std::memcpy(word_ptr(), other.word_ptr(),
+                word_count(size_) * sizeof(std::uint64_t));
+  return *this;
+}
+
+BitVector& BitVector::operator=(BitVector&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  size_ = other.size_;
+  store_ = other.store_;
+  other.size_ = 0;
+  other.store_.heap = nullptr;
+  return *this;
 }
 
 void BitVector::clear_padding() noexcept {
   const std::size_t rem = size_ % kWordBits;
-  if (rem != 0 && !words_.empty()) words_.back() &= (1ULL << rem) - 1;
+  if (rem != 0) word_ptr()[word_count(size_) - 1] &= (1ULL << rem) - 1;
 }
 
 bool BitVector::get(std::size_t i) const noexcept {
-  return (words_[i / kWordBits] >> (i % kWordBits)) & 1ULL;
+  return (word_ptr()[i / kWordBits] >> (i % kWordBits)) & 1ULL;
 }
 
 void BitVector::set(std::size_t i, bool value) noexcept {
   const std::uint64_t mask = 1ULL << (i % kWordBits);
   if (value)
-    words_[i / kWordBits] |= mask;
+    word_ptr()[i / kWordBits] |= mask;
   else
-    words_[i / kWordBits] &= ~mask;
+    word_ptr()[i / kWordBits] &= ~mask;
 }
 
-void BitVector::flip(std::size_t i) noexcept { words_[i / kWordBits] ^= 1ULL << (i % kWordBits); }
+void BitVector::flip(std::size_t i) noexcept {
+  word_ptr()[i / kWordBits] ^= 1ULL << (i % kWordBits);
+}
 
 std::size_t BitVector::popcount() const noexcept {
-  return bitkernel::popcount(words_.data(), words_.size());
+  return bitkernel::popcount(word_ptr(), word_count(size_));
 }
 
 std::size_t BitVector::hamming(ConstBitRow other) const noexcept {
@@ -165,30 +245,18 @@ void BitVector::scatter(std::span<const std::size_t> positions, ConstBitRow patc
 }
 
 void BitVector::fill(bool value) noexcept {
-  std::fill(words_.begin(), words_.end(), value ? ~0ULL : 0ULL);
+  std::uint64_t* w = word_ptr();
+  const std::size_t words = word_count(size_);
+  for (std::size_t i = 0; i < words; ++i) w[i] = value ? ~0ULL : 0ULL;
   clear_padding();
 }
 
 void BitVector::randomize(Rng& rng, double density) {
-  if (density == 0.5) {
-    for (auto& w : words_) w = rng();
-    clear_padding();
-    return;
-  }
-  for (std::size_t i = 0; i < size_; ++i) set(i, rng.chance(density));
+  BitRow(*this).randomize(rng, density);
 }
 
 void BitVector::flip_random(Rng& rng, std::size_t count) {
-  CS_ASSERT(count <= size_, "flip_random: count exceeds size");
-  // Floyd's algorithm for a uniform k-subset without replacement.
-  std::vector<std::size_t> chosen;
-  chosen.reserve(count);
-  for (std::size_t j = size_ - count; j < size_; ++j) {
-    const std::size_t t = rng.below(j + 1);
-    bool already = std::find(chosen.begin(), chosen.end(), t) != chosen.end();
-    chosen.push_back(already ? j : t);
-  }
-  for (std::size_t pos : chosen) flip(pos);
+  BitRow(*this).flip_random(rng, count);
 }
 
 BitVector& BitVector::operator^=(ConstBitRow other) noexcept {
@@ -208,7 +276,9 @@ BitVector& BitVector::operator|=(ConstBitRow other) noexcept {
 
 BitVector BitVector::operator~() const {
   BitVector out = *this;
-  for (auto& w : out.words_) w = ~w;
+  std::uint64_t* w = out.word_ptr();
+  const std::size_t words = word_count(size_);
+  for (std::size_t i = 0; i < words; ++i) w[i] = ~w[i];
   out.clear_padding();
   return out;
 }
@@ -216,7 +286,7 @@ BitVector BitVector::operator~() const {
 std::string BitVector::to_string() const { return ConstBitRow(*this).to_string(); }
 
 std::uint64_t BitVector::content_hash() const noexcept {
-  return bitkernel::content_hash(words_.data(), size_);
+  return bitkernel::content_hash(word_ptr(), size_);
 }
 
 BitVector random_bitvector(std::size_t size, Rng& rng, double density) {

@@ -108,6 +108,15 @@ class BitRow : public ConstBitRow {
 
   void fill(bool value) noexcept;
 
+  /// Independently randomize every viewed bit with P(bit=1) = density. Draw
+  /// order matches BitVector::randomize exactly, so filling a matrix row in
+  /// place consumes the same RNG stream as building a BitVector and copying.
+  void randomize(Rng& rng, double density = 0.5) noexcept;
+
+  /// Flips exactly `count` distinct positions chosen uniformly (count <=
+  /// size). Same draw order as BitVector::flip_random.
+  void flip_random(Rng& rng, std::size_t count);
+
   /// Copies the bits of `src` into the viewed storage (sizes must match).
   /// NOTE: proxy semantics — assignment writes through the view; copy
   /// construction rebinds the view.
@@ -124,17 +133,25 @@ class BitRow : public ConstBitRow {
   BitRow& operator&=(ConstBitRow other) noexcept;
   BitRow& operator|=(ConstBitRow other) noexcept;
 
+  std::uint64_t* word_data() noexcept { return mwords_; }
+
  private:
   std::uint64_t* mwords_ = nullptr;
 };
 
 class BitVector {
  public:
-  BitVector() = default;
+  BitVector() noexcept : size_(0) { store_.heap = nullptr; }
   /// Creates a vector of `size` bits, all set to `value`.
   explicit BitVector(std::size_t size, bool value = false);
   /// Owning copy of a row view (lets `BitVector v = matrix.row(p);` work).
   /*implicit*/ BitVector(ConstBitRow row);
+
+  BitVector(const BitVector& other);
+  BitVector(BitVector&& other) noexcept;
+  BitVector& operator=(const BitVector& other);
+  BitVector& operator=(BitVector&& other) noexcept;
+  ~BitVector() { release(); }
 
   std::size_t size() const noexcept { return size_; }
   bool empty() const noexcept { return size_ == 0; }
@@ -187,14 +204,38 @@ class BitVector {
   /// deduplication on the bulletin board.
   std::uint64_t content_hash() const noexcept;
 
-  std::span<const std::uint64_t> words() const noexcept { return words_; }
-  std::uint64_t* word_data() noexcept { return words_.data(); }
+  std::span<const std::uint64_t> words() const noexcept {
+    return {word_ptr(), bitkernel::word_count(size_)};
+  }
+  std::uint64_t* word_data() noexcept { return word_ptr(); }
 
  private:
+  // Small-buffer storage: protocols shuttle millions of short vectors
+  // (board posts, subset outputs) per suite, so vectors of up to
+  // kInlineWords * 64 bits live inline — no heap traffic — while longer
+  // ones use an exact-sized heap block. Size is fixed at construction
+  // (there is no resize), so no capacity bookkeeping is needed.
+  static constexpr std::size_t kInlineWords = 3;
+
+  bool is_inline() const noexcept {
+    return bitkernel::word_count(size_) <= kInlineWords;
+  }
+  const std::uint64_t* word_ptr() const noexcept {
+    return is_inline() ? store_.inline_words : store_.heap;
+  }
+  std::uint64_t* word_ptr() noexcept {
+    return is_inline() ? store_.inline_words : store_.heap;
+  }
+  /// Allocates (or inlines) zero-initialized storage for `size` bits.
+  void acquire(std::size_t size);
+  void release() noexcept;
   void clear_padding() noexcept;
 
   std::size_t size_ = 0;
-  std::vector<std::uint64_t> words_;
+  union Store {
+    std::uint64_t inline_words[kInlineWords];
+    std::uint64_t* heap;
+  } store_;
 };
 
 inline ConstBitRow::ConstBitRow(const BitVector& v) noexcept

@@ -2,56 +2,6 @@
 
 namespace colscore {
 
-std::uint64_t splitmix64(std::uint64_t& state) noexcept {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
-std::uint64_t mix_keys(std::uint64_t a, std::uint64_t b, std::uint64_t c) noexcept {
-  std::uint64_t st = a;
-  std::uint64_t x = splitmix64(st);
-  st ^= b + 0x9e3779b97f4a7c15ULL + (st << 6) + (st >> 2);
-  x ^= splitmix64(st);
-  st ^= c + 0x9e3779b97f4a7c15ULL + (st << 6) + (st >> 2);
-  x ^= splitmix64(st);
-  return x;
-}
-
-namespace {
-inline std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-  return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
-Rng::Rng(std::uint64_t seed) noexcept : origin_(seed) {
-  std::uint64_t st = seed;
-  for (auto& word : s_) word = splitmix64(st);
-}
-
-Rng::result_type Rng::operator()() noexcept {
-  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-  const std::uint64_t t = s_[1] << 17;
-  s_[2] ^= s_[0];
-  s_[3] ^= s_[1];
-  s_[1] ^= s_[2];
-  s_[0] ^= s_[3];
-  s_[2] ^= t;
-  s_[3] = rotl(s_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::below(std::uint64_t bound) noexcept {
-  if (bound == 0) return 0;
-  // Lemire-style rejection to avoid modulo bias.
-  const std::uint64_t threshold = (0 - bound) % bound;
-  for (;;) {
-    const std::uint64_t r = (*this)();
-    if (r >= threshold) return r % bound;
-  }
-}
-
 std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) noexcept {
   if (lo >= hi) return lo;
   const auto span = static_cast<std::uint64_t>(hi - lo) + 1;

@@ -14,28 +14,70 @@
 namespace colscore {
 
 /// SplitMix64 step; used for seeding and for hash-style key mixing.
-std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+/// Inline: key derivation runs tens of millions of times per suite.
+inline std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
 
 /// Stateless mix of up to three 64-bit keys into one well-distributed word.
-std::uint64_t mix_keys(std::uint64_t a, std::uint64_t b = 0x9e3779b97f4a7c15ULL,
-                       std::uint64_t c = 0xbf58476d1ce4e5b9ULL) noexcept;
+inline std::uint64_t mix_keys(std::uint64_t a,
+                              std::uint64_t b = 0x9e3779b97f4a7c15ULL,
+                              std::uint64_t c = 0xbf58476d1ce4e5b9ULL) noexcept {
+  std::uint64_t st = a;
+  std::uint64_t x = splitmix64(st);
+  st ^= b + 0x9e3779b97f4a7c15ULL + (st << 6) + (st >> 2);
+  x ^= splitmix64(st);
+  st ^= c + 0x9e3779b97f4a7c15ULL + (st << 6) + (st >> 2);
+  x ^= splitmix64(st);
+  return x;
+}
 
 /// xoshiro256** generator. Satisfies UniformRandomBitGenerator.
 class Rng {
  public:
   using result_type = std::uint64_t;
 
-  explicit Rng(std::uint64_t seed = 0xc0fefe1234abcdefULL) noexcept;
+  explicit Rng(std::uint64_t seed = 0xc0fefe1234abcdefULL) noexcept : origin_(seed) {
+    std::uint64_t st = seed;
+    for (auto& word : s_) word = splitmix64(st);
+  }
 
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept {
     return std::numeric_limits<result_type>::max();
   }
 
-  result_type operator()() noexcept;
+  result_type operator()() noexcept {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
 
   /// Uniform in [0, bound). bound == 0 returns 0. Unbiased (rejection).
-  std::uint64_t below(std::uint64_t bound) noexcept;
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Power-of-two bounds: 2^64 mod bound is 0, so every draw is accepted
+    // and the mod is a mask. One draw consumed, same value as r % bound.
+    if ((bound & (bound - 1)) == 0) return (*this)() & (bound - 1);
+    // Lemire-style rejection to avoid modulo bias. The rejection threshold
+    // is 2^64 mod bound, which is < bound: any draw >= bound is accepted
+    // without computing it, so the almost-always path pays one division
+    // (the final mod), not two. Draw sequence and accepted values are
+    // identical to the textbook formulation.
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= bound || r >= (0 - bound) % bound) return r % bound;
+    }
+  }
 
   /// Uniform in [lo, hi] inclusive.
   std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
@@ -51,6 +93,10 @@ class Rng {
   Rng fork(std::uint64_t key1, std::uint64_t key2) const noexcept;
 
  private:
+  static std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
   std::array<std::uint64_t, 4> s_{};
   std::uint64_t origin_ = 0;  // seed identity preserved so fork() is call-order independent
 };

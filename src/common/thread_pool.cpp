@@ -49,9 +49,21 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   }
   if (grain == 0) grain = std::max<std::size_t>(1, count / (threads * 8));
 
+  // Completion tracks claimed-and-running CHUNKS, not queued helper tasks.
+  // Helpers that never get scheduled are harmless (they claim nothing and
+  // never touch `body` once next >= end), so the caller does not need to
+  // execute foreign queue entries while it waits. That matters beyond
+  // latency: a waiting thread that ran an arbitrary queued task could
+  // re-enter protocol code mid-frame — and protocol frames keep live state
+  // in the per-thread RunWorkspace, which an interleaved second run would
+  // overwrite. A waiting thread therefore only ever waits for in-flight
+  // chunk bodies; loops self-complete through the caller's own claiming
+  // loop, so nesting cannot deadlock.
   struct Shared {
     std::atomic<std::size_t> next;
-    std::atomic<std::size_t> pending;
+    std::atomic<std::size_t> in_flight{0};
+    std::size_t end = 0;
+    const std::function<void(std::size_t)>* body = nullptr;
     std::mutex done_mutex;
     std::condition_variable done_cv;
     std::exception_ptr error;
@@ -59,64 +71,55 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   };
   auto shared = std::make_shared<Shared>();
   shared->next.store(begin);
+  shared->end = end;
+  shared->body = &body;
 
   const std::size_t n_tasks = std::min(threads, (count + grain - 1) / grain);
-  shared->pending.store(n_tasks);
 
-  auto run_chunks = [shared, end, grain, &body] {
+  auto run_chunks = [grain](const std::shared_ptr<Shared>& s) {
     for (;;) {
-      const std::size_t lo = shared->next.fetch_add(grain);
-      if (lo >= end) break;
-      const std::size_t hi = std::min(end, lo + grain);
-      try {
-        for (std::size_t i = lo; i < hi; ++i) body(i);
-      } catch (...) {
-        std::lock_guard lock(shared->error_mutex);
-        if (!shared->error) shared->error = std::current_exception();
-        shared->next.store(end);  // cancel remaining chunks
+      // in_flight brackets the claim: once a thread holds a chunk with
+      // lo < end, the caller cannot observe (next >= end && in_flight == 0)
+      // and so cannot return while s->body is being used.
+      s->in_flight.fetch_add(1);
+      const std::size_t lo = s->next.fetch_add(grain);
+      if (lo >= s->end) {
+        if (s->in_flight.fetch_sub(1) == 1) {
+          std::lock_guard done_lock(s->done_mutex);
+          s->done_cv.notify_all();
+        }
         break;
+      }
+      const std::size_t hi = std::min(s->end, lo + grain);
+      try {
+        for (std::size_t i = lo; i < hi; ++i) (*s->body)(i);
+      } catch (...) {
+        std::lock_guard lock(s->error_mutex);
+        if (!s->error) s->error = std::current_exception();
+        s->next.store(s->end);  // cancel remaining chunks
+      }
+      if (s->in_flight.fetch_sub(1) == 1) {
+        std::lock_guard done_lock(s->done_mutex);
+        s->done_cv.notify_all();
       }
     }
   };
 
   {
     std::lock_guard lock(mutex_);
-    for (std::size_t t = 0; t + 1 < n_tasks; ++t) {
-      tasks_.emplace([shared, run_chunks] {
-        run_chunks();
-        if (shared->pending.fetch_sub(1) == 1) {
-          std::lock_guard done_lock(shared->done_mutex);
-          shared->done_cv.notify_all();
-        }
-      });
-    }
+    for (std::size_t t = 0; t + 1 < n_tasks; ++t)
+      tasks_.emplace([shared, run_chunks] { run_chunks(shared); });
   }
   cv_.notify_all();
 
-  // The calling thread participates too.
-  run_chunks();
-  if (shared->pending.fetch_sub(1) != 1) {
-    // Help-drain the pool queue while waiting: a nested parallel_for invoked
-    // from a worker thread must not deadlock when every worker is blocked in
-    // its own wait — someone has to keep executing queued subtasks.
-    for (;;) {
-      if (shared->pending.load() == 0) break;
-      std::function<void()> task;
-      {
-        std::unique_lock lock(mutex_, std::try_to_lock);
-        if (lock.owns_lock() && !tasks_.empty()) {
-          task = std::move(tasks_.front());
-          tasks_.pop();
-        }
-      }
-      if (task) {
-        task();
-      } else {
-        std::unique_lock lock(shared->done_mutex);
-        shared->done_cv.wait_for(lock, std::chrono::microseconds(50),
-                                 [&] { return shared->pending.load() == 0; });
-      }
-    }
+  // The calling thread participates too; when its claiming loop exits,
+  // every chunk has been claimed (next >= end) and only bodies already
+  // running on other threads remain.
+  run_chunks(shared);
+  while (shared->in_flight.load() != 0) {
+    std::unique_lock lock(shared->done_mutex);
+    shared->done_cv.wait_for(lock, std::chrono::microseconds(50),
+                             [&] { return shared->in_flight.load() == 0; });
   }
   if (shared->error) std::rethrow_exception(shared->error);
 }
@@ -140,11 +143,6 @@ ThreadPool& ThreadPool::global() {
 void ThreadPool::reset_global(std::size_t threads) {
   std::lock_guard lock(global_mutex());
   global_slot() = std::make_unique<ThreadPool>(threads);
-}
-
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body, std::size_t grain) {
-  ThreadPool::global().parallel_for(begin, end, body, grain);
 }
 
 }  // namespace colscore

@@ -49,8 +49,22 @@ class ThreadPool {
   bool stop_ = false;
 };
 
-/// Convenience wrapper over ThreadPool::global().
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& body, std::size_t grain = 0);
+/// Convenience wrapper over ThreadPool::global(). Template so the serial
+/// path (one worker, or a single index) calls the body directly — inlined,
+/// no std::function construction. The protocol hot path invokes this
+/// millions of times per suite; on a 1-core box the type-erasure wrapper
+/// was a heap allocation per call.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, Body&& body,
+                  std::size_t grain = 0) {
+  if (begin >= end) return;
+  ThreadPool& pool = ThreadPool::global();
+  if (pool.thread_count() <= 1 || end - begin == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  pool.parallel_for(begin, end, std::function<void(std::size_t)>(std::ref(body)),
+                    grain);
+}
 
 }  // namespace colscore

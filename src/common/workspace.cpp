@@ -1,0 +1,10 @@
+#include "src/common/workspace.hpp"
+
+namespace colscore {
+
+RunWorkspace& RunWorkspace::current() {
+  static thread_local RunWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace colscore

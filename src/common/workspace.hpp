@@ -1,0 +1,108 @@
+// Per-thread run workspace: reusable scratch for the protocol hot path.
+//
+// A whole-suite sweep executes millions of small protocol steps (Select
+// tournaments, ZeroRadius adoptions, voting slates), and before PR 3 every
+// one of them re-malloc'd its scratch — diff buffers, probe memos, voter
+// assignments — from cold. RunWorkspace keeps one set of named, growable
+// buffers per thread; a buffer grows to the high-water mark of the runs its
+// thread executes and then stops touching the allocator entirely.
+//
+// Contract (see ROADMAP "Performance"):
+//   * Access via RunWorkspace::current() — one instance per thread, created
+//     on first use and alive for the thread's lifetime. SuiteRunner workers
+//     and the global ThreadPool persist across grid cells, which is exactly
+//     the per-worker pooling that lets cell N+1 reuse cell N's allocations.
+//     ProtocolEnv::workspace() is the same instance, spelled protocol-side.
+//   * Buffers are grouped by owner (sel_* for the Select tournament, pf_*
+//     for the prefilter, zr_* for ZeroRadius adoption, vt_* for work-share
+//     voting, ze_* for ZeroRadius reassembly, probe_* for oracle staging).
+//     A function may only touch its own group, because nested frames on one
+//     thread are live simultaneously: select_prefiltered (pf_*) is still
+//     using its finalist list while the inner tournament (sel_*) runs, and
+//     a parallel_for body shares a thread — and therefore a workspace —
+//     with the caller that spawned it.
+//   * Every user re-initialises (assign/resize/clear) what it reads; no
+//     state is carried between calls on purpose.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "src/common/bitmatrix.hpp"
+#include "src/common/types.hpp"
+
+namespace colscore {
+
+struct RunWorkspace {
+  /// This thread's workspace (created on first use, lives with the thread).
+  static RunWorkspace& current();
+
+  // ---- oracle probe staging (ProbeOracle bulk reads) -----------------------
+  std::vector<std::uint64_t> probe_row_words;  // one full truth row, packed
+
+  // ---- Select tournament (select.cpp run_tournament) -----------------------
+  std::vector<std::uint64_t> sel_probed_words;  // probed? plane
+  std::vector<std::uint64_t> sel_value_words;   // own-bit plane
+  std::vector<std::uint64_t> sel_batch_words;   // batched probe results
+  std::vector<std::uint8_t> sel_alive;
+  std::vector<std::size_t> sel_wins;
+  std::vector<std::uint64_t> sel_hashes;
+  std::vector<std::size_t> sel_diff;
+  std::vector<std::size_t> sel_coords;        // the t drawn coords of a pair
+  std::vector<std::size_t> sel_batch_coords;  // first-occurrence uncached ones
+  std::vector<ObjectId> sel_batch_objects;
+
+  // ---- Select prefilter (select.cpp select_prefiltered) --------------------
+  std::vector<std::uint64_t> pf_own_words;
+  std::vector<std::size_t> pf_coords;
+  std::vector<ObjectId> pf_objects;
+  std::vector<std::pair<std::size_t, std::size_t>> pf_scored;
+  std::vector<ConstBitRow> pf_finalists;
+  std::vector<std::size_t> pf_finalist_ids;
+
+  // ---- ZeroRadius adoption (zero_radius.cpp adopt) -------------------------
+  std::vector<std::uint64_t> zr_probed_words;
+  std::vector<std::uint64_t> zr_value_words;
+  std::vector<std::uint64_t> zr_batch_words;
+  std::vector<std::size_t> zr_coords;  // coords actually probed (patch list)
+  std::vector<std::size_t> zr_verify_coords;
+  std::vector<std::size_t> zr_batch_coords;
+  std::vector<ObjectId> zr_batch_objects;
+  std::vector<std::size_t> zr_alive;
+  std::vector<std::size_t> zr_next;
+  std::vector<std::size_t> zr_diff;
+
+  // ---- ZeroRadius reassembly (zero_radius.cpp solve/emit) ------------------
+  // objects[j] -> j and players[i] -> i index maps as flat arrays. Safe
+  // without generations: a solve node stamps its whole span before reading,
+  // and only ever reads ids inside that span.
+  std::vector<std::uint32_t> ze_coord_of;
+  std::vector<std::uint32_t> ze_row_of;
+
+  // ---- work-share voting (work_share.cpp cluster_votes) --------------------
+  std::vector<std::uint32_t> vt_voter_of;
+  std::vector<std::uint8_t> vt_tie_coin;
+  std::vector<std::size_t> vt_offsets;
+  std::vector<std::size_t> vt_cursor;
+  std::vector<std::uint32_t> vt_slots_of_voter;
+  std::vector<std::uint8_t> vt_report_of_slot;
+  std::vector<std::uint8_t> vt_verdicts;
+  std::vector<ObjectId> vt_slate_objects;       // per-voter (parallel body)
+  std::vector<std::uint64_t> vt_slate_words;    // per-voter (parallel body)
+  std::vector<PlayerId> vt_authors;             // per-object (parallel body)
+
+  // ---- SmallRadius orchestration (small_radius.cpp, caller thread) ---------
+  std::vector<std::uint32_t> sr_subset_of;
+  std::vector<std::size_t> sr_subset_offsets;
+  std::vector<std::size_t> sr_subset_cursor;
+  std::vector<std::size_t> sr_coords_flat;
+  std::vector<ObjectId> sr_sub_objects;
+
+  // ---- scratch matrices (calculate_preferences / small_radius) -------------
+  BitMatrix cp_z;                         // per-iteration z family
+  std::vector<BitMatrix> cp_candidates;   // per-guess candidate matrices
+  std::vector<BitMatrix> sr_candidates;   // per-repeat candidate matrices
+};
+
+}  // namespace colscore

@@ -7,6 +7,7 @@
 #include "src/common/bitmatrix.hpp"
 #include "src/common/mathutil.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/common/workspace.hpp"
 #include "src/protocols/neighbor_graph.hpp"
 #include "src/protocols/select.hpp"
 #include "src/protocols/work_share.hpp"
@@ -66,17 +67,15 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
   std::vector<ObjectId> all_objects(n_objects);
   for (ObjectId o = 0; o < n_objects; ++o) all_objects[o] = o;
 
-  // Easy case (§6.1): B = Ω(n / log n) -> probe everything (one batched
-  // charge per player).
+  // Easy case (§6.1): B = Ω(n / log n) -> probe everything. One word-level
+  // charge per player, written straight into the output row — no uint8
+  // staging, no per-bit set.
   if (static_cast<double>(params.budget) * static_cast<double>(log2n) >=
       params.easy_case_factor * static_cast<double>(n)) {
     result.easy_case = true;
     result.outputs.assign(n, BitVector(n_objects));
     parallel_for(0, n, [&](std::size_t p) {
-      std::vector<std::uint8_t> bits(n_objects);
-      env.own_probe_many(static_cast<PlayerId>(p), all_objects, bits);
-      BitVector& row = result.outputs[p];
-      for (ObjectId o = 0; o < n_objects; ++o) row.set(o, bits[o] != 0);
+      env.own_probe_row(static_cast<PlayerId>(p), 0, n_objects, result.outputs[p]);
     });
     fill_probe_deltas(result, env.oracle, before);
     return result;
@@ -88,8 +87,12 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
   const std::vector<std::size_t> guesses =
       diameter_guesses(n_objects, params.sample_rate_c, ln_n);
 
-  // candidates[g] row p = candidate vector of player p from guess g.
-  std::vector<BitMatrix> candidates(guesses.size());
+  // candidates[g] row p = candidate vector of player p from guess g. Pooled
+  // in the per-thread workspace (cp_* group) so grid cells reuse the
+  // allocations; live across the whole guess loop, which is why SmallRadius
+  // draws its own matrices from the separate sr_* pool.
+  std::vector<BitMatrix>& candidates = RunWorkspace::current().cp_candidates;
+  if (candidates.size() < guesses.size()) candidates.resize(guesses.size());
 
   const std::size_t min_cluster = std::max<std::size_t>(
       2, static_cast<std::size_t>(std::ceil(
@@ -140,10 +143,17 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
     // Publication of the z-vectors used for the graph (dishonest players may
     // publish mimicry/garbage here). The family lives in one contiguous
     // BitMatrix so the O(n^2) graph sweep below streams rows through cache.
+    // Honest rows are the SmallRadius output verbatim (one word copy, no
+    // behaviour call, no RNG — an honest publication never draws from it).
     const std::uint64_t z_channel = mix_keys(iter_key, 0x9a9fULL);
     const ReportContext zctx{Phase::kClusterGraph, z_channel};
-    BitMatrix z(n, sample.size());
+    BitMatrix& z = RunWorkspace::current().cp_z;
+    z.reset(n, sample.size());
     for (PlayerId p = 0; p < n; ++p) {
+      if (env.population.is_honest(p)) {
+        z.row(p) = sr.outputs[p];
+        continue;
+      }
       Rng prng = env.local_rng(p, z_channel);
       z.row(p) = env.population.publication(p, sr.outputs[p], sample, zctx, prng);
     }
@@ -167,7 +177,7 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
       cluster_prediction[c] = cluster_votes(clustering.clusters[c], env,
                                             mix_keys(iter_key, 0x707eULL, c), ws);
     }
-    candidates[g] = BitMatrix(n, n_objects);
+    candidates[g].reset(n, n_objects);
     parallel_for(0, n, [&](std::size_t p) {
       const std::uint32_t c = clustering.cluster_of[p];
       if (c != Clustering::kNoClusterAssigned)

@@ -99,9 +99,11 @@ World planted_clusters(std::size_t n_players, std::size_t n_objects,
   for (std::size_t c = 0; c < n_clusters; ++c) {
     const BitVector center = random_bitvector(n_objects, rng);
     for (std::size_t i = 0; i < sizes[c]; ++i, ++next) {
-      BitVector v = center;
-      if (radius > 0) v.flip_random(rng, rng.below(radius + 1));
-      w.matrix.row(next) = std::move(v);
+      // Fill the matrix row in place: copy the center words, flip there.
+      // Identical RNG draw order to building a BitVector and copying.
+      BitRow row = w.matrix.row(next);
+      row = center;
+      if (radius > 0) row.flip_random(rng, rng.below(radius + 1));
       w.cluster_of[next] = static_cast<std::uint32_t>(c);
     }
   }
@@ -128,19 +130,19 @@ World lower_bound_instance(std::size_t n, std::size_t budget, std::size_t diamet
     std::swap(all_objects[i], all_objects[j]);
   }
 
-  // Pivot p = player 0 gets a random vector.
-  w.matrix.row(0) = random_bitvector(n, rng);
+  // Pivot p = player 0 gets a random vector (drawn in place).
+  w.matrix.row(0).randomize(rng);
   w.cluster_of[0] = 0;
   // Members of P copy the pivot except on S, where their bits are random.
   for (PlayerId q = 1; q < group; ++q) {
-    BitVector v = w.matrix.row(0);
-    for (std::size_t i = 0; i < diameter; ++i) v.set(all_objects[i], rng.chance(0.5));
-    w.matrix.row(q) = std::move(v);
+    BitRow row = w.matrix.row(q);
+    row = w.matrix.row(0);
+    for (std::size_t i = 0; i < diameter; ++i) row.set(all_objects[i], rng.chance(0.5));
     w.cluster_of[q] = 0;
   }
   // Everyone else is fully random.
   for (PlayerId q = static_cast<PlayerId>(group); q < n; ++q)
-    w.matrix.row(q) = random_bitvector(n, rng);
+    w.matrix.row(q).randomize(rng);
   return w;
 }
 
@@ -179,8 +181,7 @@ World uniform_random(std::size_t n_players, std::size_t n_objects, Rng rng) {
   w.n_clusters = 0;
   w.planted_diameter = n_objects;
   w.description = "uniform_random";
-  for (PlayerId p = 0; p < n_players; ++p)
-    w.matrix.row(p) = random_bitvector(n_objects, rng);
+  for (PlayerId p = 0; p < n_players; ++p) w.matrix.row(p).randomize(rng);
   return w;
 }
 

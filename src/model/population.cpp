@@ -7,7 +7,8 @@
 
 namespace colscore {
 
-Population::Population(std::size_t n_players) : behaviors_(n_players) {
+Population::Population(std::size_t n_players)
+    : behaviors_(n_players), honest_(n_players, 1) {
   for (auto& b : behaviors_) b = std::make_unique<HonestBehavior>();
 }
 
@@ -15,9 +16,8 @@ void Population::set_behavior(PlayerId p, std::unique_ptr<Behavior> behavior) {
   CS_ASSERT(p < behaviors_.size(), "set_behavior: bad player");
   CS_ASSERT(behavior != nullptr, "set_behavior: null behavior");
   behaviors_[p] = std::move(behavior);
+  honest_[p] = behaviors_[p]->honest() ? 1 : 0;
 }
-
-bool Population::is_honest(PlayerId p) const { return behavior(p).honest(); }
 
 std::size_t Population::honest_count() const {
   return static_cast<std::size_t>(

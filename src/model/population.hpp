@@ -28,7 +28,12 @@ class Population {
   /// Replaces player p's behaviour (default-constructed players are honest).
   void set_behavior(PlayerId p, std::unique_ptr<Behavior> behavior);
 
-  bool is_honest(PlayerId p) const;
+  /// O(1) cached flag (set_behavior keeps it in sync) — this sits on every
+  /// probe-charging decision, so it must not cost a virtual call.
+  bool is_honest(PlayerId p) const {
+    CS_ASSERT(p < honest_.size(), "is_honest: bad player");
+    return honest_[p] != 0;
+  }
   std::size_t honest_count() const;
   std::size_t dishonest_count() const { return size() - honest_count(); }
   std::vector<PlayerId> honest_players() const;
@@ -61,6 +66,7 @@ class Population {
 
  private:
   std::vector<std::unique_ptr<Behavior>> behaviors_;
+  std::vector<std::uint8_t> honest_;  // behaviors_[p]->honest(), cached
 };
 
 }  // namespace colscore

@@ -13,6 +13,14 @@ bool PreferenceMatrix::preference(PlayerId p, ObjectId o) const {
   return rows_.get(p, o);
 }
 
+void PreferenceMatrix::fill_row_words(PlayerId p, ObjectId first_object,
+                                      std::size_t n, std::uint64_t* out) const {
+  CS_ASSERT(p < rows_.rows(), "fill_row_words: bad player");
+  CS_ASSERT(first_object + n <= n_objects_, "fill_row_words: bad object range");
+  bitkernel::extract_bits(rows_.row(p).words().data(),
+                          bitkernel::word_count(n_objects_), first_object, n, out);
+}
+
 ConstBitRow PreferenceMatrix::row(PlayerId p) const {
   CS_ASSERT(p < rows_.rows(), "row: bad player");
   return rows_.row(p);

@@ -21,6 +21,19 @@ class PreferenceMatrix final : public TruthSource {
   std::size_t n_players() const override { return rows_.rows(); }
   std::size_t n_objects() const override { return n_objects_; }
 
+  /// Native packed bulk read straight off the BitMatrix row: a word copy
+  /// when the range is aligned, a funnel shift otherwise — never a per-bit
+  /// virtual call. See TruthSource::fill_row_words for the contract.
+  void fill_row_words(PlayerId p, ObjectId first_object, std::size_t n,
+                      std::uint64_t* out) const override;
+
+  /// Rows are one flat cache-line-strided allocation, so the oracle can
+  /// read bits with no virtual dispatch at all.
+  const std::uint64_t* packed_rows(std::size_t* word_stride) const override {
+    *word_stride = rows_.word_stride();
+    return rows_.words();
+  }
+
   ConstBitRow row(PlayerId p) const;
   BitRow row(PlayerId p);
   void set(PlayerId p, ObjectId o, bool value);

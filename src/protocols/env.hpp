@@ -13,6 +13,7 @@
 #include "src/board/bulletin_board.hpp"
 #include "src/board/probe_oracle.hpp"
 #include "src/board/shared_random.hpp"
+#include "src/common/workspace.hpp"
 #include "src/model/population.hpp"
 
 namespace colscore {
@@ -51,6 +52,41 @@ struct ProtocolEnv {
     for (std::size_t i = 0; i < objects.size(); ++i)
       out[i] = oracle.adversary_peek(p, objects[i]) ? 1 : 0;
   }
+
+  /// Word-level form: learn the contiguous object range [first_object,
+  /// first_object + n) straight into a BitRow (one charge, packed transfer).
+  void own_probe_row(PlayerId p, ObjectId first_object, std::size_t n, BitRow out) {
+    if (population.is_honest(p))
+      oracle.probe_row(p, first_object, n, out);
+    else
+      oracle.adversary_peek_row(p, first_object, n, out);
+  }
+
+  /// Learn an arbitrary object slate into a BitRow: bit i = v(p)_objects[i].
+  /// Contiguous ascending slates take the word path (probe_row); scattered
+  /// ones go through the batched gather. Charges are identical to probing
+  /// the slate object by object with no memo (duplicates pay).
+  void own_probe_bits(PlayerId p, std::span<const ObjectId> objects, BitRow out) {
+    if (objects.size() == 1) {  // common in elimination-style probing
+      out.set(0, own_probe(p, objects.front()));
+      return;
+    }
+    bool contiguous = !objects.empty();
+    for (std::size_t i = 1; contiguous && i < objects.size(); ++i)
+      contiguous = objects[i] == objects[i - 1] + 1;
+    if (contiguous && out.size() == objects.size()) {
+      own_probe_row(p, objects.front(), objects.size(), out);
+      return;
+    }
+    if (population.is_honest(p))
+      oracle.probe_gather(p, objects, out);
+    else
+      oracle.adversary_peek_gather(p, objects, out);
+  }
+
+  /// This thread's reusable scratch (see src/common/workspace.hpp for the
+  /// pooling and aliasing contract).
+  RunWorkspace& workspace() const { return RunWorkspace::current(); }
 
   /// Local RNG stream for (player, phase).
   Rng local_rng(PlayerId p, std::uint64_t phase_key) const {

@@ -1,8 +1,10 @@
 #include "src/protocols/select.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "src/common/assert.hpp"
+#include "src/common/workspace.hpp"
 
 namespace colscore {
 
@@ -12,13 +14,122 @@ std::vector<ConstBitRow> as_views(std::span<const BitVector> candidates) {
   return std::vector<ConstBitRow>(candidates.begin(), candidates.end());
 }
 
+/// Stack-only tournament for one-word universes. SmallRadius runs millions
+/// of selects over subsets of a handful of objects (the measured average is
+/// ~3 bits, k ~ 3); at that size the workspace buffers of the general path
+/// are pure overhead, so the probe memo is two uint64 planes in registers
+/// and every per-pair list is a fixed stack array. Draw streams, probe
+/// charges, and elimination order are identical to the general path.
+constexpr std::size_t kSmallTournamentK = 16;
+
+SelectOutcome run_tournament_small(PlayerId p, std::span<const ConstBitRow> candidates,
+                                   std::span<const ObjectId> objects,
+                                   ProtocolEnv& env, std::uint64_t phase_key,
+                                   std::size_t probes_per_pair,
+                                   std::size_t skip_below, bool deterministic) {
+  const std::size_t k = candidates.size();
+  const std::size_t nbits = objects.size();
+  SelectOutcome out;
+  if (nbits == 0) return out;  // every pair identical: first candidate wins
+
+  std::uint64_t probed = 0;  // coord memo planes (one word covers the universe)
+  std::uint64_t value = 0;
+  std::uint64_t cw[kSmallTournamentK];
+  std::uint64_t hashes[kSmallTournamentK];
+  std::uint8_t alive[kSmallTournamentK];
+  std::uint32_t wins[kSmallTournamentK];
+  for (std::size_t i = 0; i < k; ++i) {
+    cw[i] = candidates[i].words()[0];
+    alive[i] = 1;
+    wins[i] = 0;
+    if (deterministic) hashes[i] = candidates[i].content_hash();
+  }
+
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!alive[i]) continue;
+    for (std::size_t j = i + 1; j < k; ++j) {
+      if (!alive[i]) break;
+      if (!alive[j]) continue;
+      const std::uint64_t diffw = cw[i] ^ cw[j];
+      const auto cnt = static_cast<std::size_t>(std::popcount(diffw));
+      if (cnt == 0 || cnt <= skip_below) continue;
+
+      Rng stream = deterministic
+                       ? Rng(mix_keys(phase_key, hashes[i], hashes[j]))
+                       : env.local_rng(p, mix_keys(phase_key, i * 1315423911ULL + j));
+
+      std::uint8_t pos[64];
+      std::uint64_t rest = diffw;
+      for (std::size_t d = 0; d < cnt; ++d) {
+        pos[d] = static_cast<std::uint8_t>(std::countr_zero(rest));
+        rest &= rest - 1;
+      }
+
+      const std::size_t t = std::min(probes_per_pair, cnt);
+      std::uint8_t drawn[64];
+      std::uint8_t batch_coords[64];
+      ObjectId batch_objects[64];
+      std::size_t batch = 0;
+      for (std::size_t s = 0; s < t; ++s) {
+        const std::uint8_t coord = pos[stream.below(cnt)];
+        drawn[s] = coord;
+        if (((probed >> coord) & 1) == 0) {
+          probed |= 1ULL << coord;
+          batch_coords[batch] = coord;
+          batch_objects[batch++] = objects[coord];
+        }
+      }
+      if (batch != 0) {
+        std::uint64_t got = 0;
+        env.own_probe_bits(p, {batch_objects, batch}, BitRow(&got, batch));
+        out.probes += batch;
+        for (std::size_t b = 0; b < batch; ++b)
+          value |= ((got >> b) & 1ULL) << batch_coords[b];
+      }
+
+      std::size_t agree_i = 0;
+      for (std::size_t s = 0; s < t; ++s)
+        if (((value >> drawn[s]) & 1) == ((cw[i] >> drawn[s]) & 1)) ++agree_i;
+      ++out.pairs_probed;
+      const std::size_t agree_j = t - agree_i;
+      if (3 * agree_i >= 2 * t) {
+        alive[j] = 0;
+        ++wins[i];
+      } else if (3 * agree_j >= 2 * t) {
+        alive[i] = 0;
+        ++wins[j];
+      } else {
+        ++wins[agree_i >= agree_j ? i : j];
+      }
+    }
+  }
+
+  std::size_t best = 0;
+  bool found = false;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!alive[i]) continue;
+    if (!found || wins[i] > wins[best]) {
+      best = i;
+      found = true;
+    }
+  }
+  CS_ASSERT(found, "select: tournament eliminated every candidate");
+  out.chosen = best;
+  return out;
+}
+
 /// Shared implementation of the pairwise elimination tournament.
 /// `deterministic` switches the probe-position sampling stream.
 ///
-/// Scratch discipline: one diff buffer is reused across all pairs, and the
-/// per-coordinate probe memo is a two-plane bit cache (probed?/value) instead
-/// of a hash map — the tournament runs once per player per phase, so the
-/// per-pair allocations were the dominant cost at scale.
+/// Scratch discipline: all buffers live in the per-thread RunWorkspace
+/// (sel_* group) — the tournament runs millions of times per suite, so
+/// per-call allocations were the dominant cost at scale. The per-coordinate
+/// probe memo is a two-plane bit cache (probed?/value).
+///
+/// Probe batching: a pair's t coordinates are all drawn before any probe
+/// (the draw stream never depends on probe results), so the uncached ones —
+/// first occurrence each, exactly the coords the serial formulation charged
+/// — go through one batched own_probe_bits charge instead of t round-trips.
 SelectOutcome run_tournament(PlayerId p, std::span<const ConstBitRow> candidates,
                              std::span<const ObjectId> objects, ProtocolEnv& env,
                              std::uint64_t phase_key, std::size_t probes_per_pair,
@@ -31,51 +142,83 @@ SelectOutcome run_tournament(PlayerId p, std::span<const ConstBitRow> candidates
   const std::size_t k = candidates.size();
   if (k == 1) return out;
 
-  std::vector<bool> alive(k, true);
-  std::vector<std::size_t> wins(k, 0);
-  // Players remember their own probe results within a protocol step, so each
-  // distinct coordinate is charged at most once.
-  BitVector probed(objects.size());
-  BitVector probe_value(objects.size());
-  std::vector<std::size_t> diff;
+  if (objects.size() <= 64 && k <= kSmallTournamentK)
+    return run_tournament_small(p, candidates, objects, env, phase_key,
+                                probes_per_pair, skip_below, deterministic);
 
-  auto own_bit = [&](std::size_t coord) {
-    if (probed.get(coord)) return probe_value.get(coord);
-    const bool bit = env.own_probe(p, objects[coord]);
-    ++out.probes;
-    probed.set(coord, true);
-    probe_value.set(coord, bit);
-    return bit;
-  };
+  RunWorkspace& ws = env.workspace();
+  const std::size_t words = bitkernel::word_count(objects.size());
+  ws.sel_probed_words.assign(words, 0);
+  ws.sel_value_words.assign(words, 0);
+  BitRow probed(ws.sel_probed_words.data(), objects.size());
+  BitRow value(ws.sel_value_words.data(), objects.size());
+  ws.sel_alive.assign(k, 1);
+  ws.sel_wins.assign(k, 0);
+  auto& alive = ws.sel_alive;
+  auto& wins = ws.sel_wins;
+  auto& hashes = ws.sel_hashes;
+  if (deterministic) {
+    // Per-pair streams are keyed on candidate content hashes; hash each
+    // candidate once instead of twice per pair.
+    hashes.resize(k);
+    for (std::size_t i = 0; i < k; ++i) hashes[i] = candidates[i].content_hash();
+  }
+  auto& diff = ws.sel_diff;
+  auto& coords = ws.sel_coords;
+  auto& batch_coords = ws.sel_batch_coords;
+  auto& batch_objects = ws.sel_batch_objects;
 
   for (std::size_t i = 0; i < k; ++i) {
     if (!alive[i]) continue;
     for (std::size_t j = i + 1; j < k; ++j) {
       if (!alive[i]) break;
       if (!alive[j]) continue;
+      // Word-parallel distance first: identical or skip_below-close pairs
+      // (the common case once candidates converge) never materialize their
+      // difference positions.
+      if (!candidates[i].hamming_exceeds(candidates[j], skip_below)) continue;
       diff.clear();
       candidates[i].diff_positions_into(candidates[j], diff);
-      if (diff.empty() || diff.size() <= skip_below) continue;
 
       Rng stream = deterministic
-                       ? Rng(mix_keys(phase_key, candidates[i].content_hash(),
-                                      candidates[j].content_hash()))
+                       ? Rng(mix_keys(phase_key, hashes[i], hashes[j]))
                        : env.local_rng(p, mix_keys(phase_key, i * 1315423911ULL + j));
 
       const std::size_t t = std::min(probes_per_pair, diff.size());
-      std::size_t agree_i = 0;
+      coords.resize(t);
+      batch_coords.clear();
+      batch_objects.clear();
       for (std::size_t s = 0; s < t; ++s) {
         const std::size_t coord = diff[stream.below(diff.size())];
-        if (own_bit(coord) == candidates[i].get(coord)) ++agree_i;
+        coords[s] = coord;
+        if (!probed.get(coord)) {
+          // Players remember their own probe results within a protocol step,
+          // so each distinct coordinate is charged at most once.
+          probed.set(coord, true);
+          batch_coords.push_back(coord);
+          batch_objects.push_back(objects[coord]);
+        }
       }
+      if (!batch_coords.empty()) {
+        ws.sel_batch_words.assign(bitkernel::word_count(batch_coords.size()), 0);
+        BitRow got(ws.sel_batch_words.data(), batch_coords.size());
+        env.own_probe_bits(p, batch_objects, got);
+        out.probes += batch_coords.size();
+        for (std::size_t b = 0; b < batch_coords.size(); ++b)
+          value.set(batch_coords[b], got.get(b));
+      }
+
+      std::size_t agree_i = 0;
+      for (std::size_t s = 0; s < t; ++s)
+        if (value.get(coords[s]) == candidates[i].get(coords[s])) ++agree_i;
       ++out.pairs_probed;
       const std::size_t agree_j = t - agree_i;
       // Fig. 1: eliminate the candidate that loses a 2/3 supermajority.
       if (3 * agree_i >= 2 * t) {
-        alive[j] = false;
+        alive[j] = 0;
         ++wins[i];
       } else if (3 * agree_j >= 2 * t) {
-        alive[i] = false;
+        alive[i] = 0;
         ++wins[j];
       } else {
         // Close race: both survive (they are near-equidistant from v(p)).
@@ -148,31 +291,40 @@ SelectOutcome select_prefiltered(PlayerId p, std::span<const ConstBitRow> candid
   // gain nothing by tailoring per-player lies to them. The t probes go
   // through one batched charge instead of t counter round-trips; the charge
   // total is unchanged (duplicate coordinates still pay, as before).
+  //
+  // Scratch comes from the pf_* workspace group — disjoint from the sel_*
+  // buffers the inner tournament uses, because the finalist list must stay
+  // alive across that call.
+  RunWorkspace& ws = env.workspace();
   Rng coords_rng(mix_keys(phase_key, 0x9ef1a7e4ULL));
   const std::size_t t = std::min(prefilter_probes, objects.size());
-  std::vector<std::size_t> coords(t);
-  std::vector<ObjectId> probe_objects(t);
+  auto& pf_coords = ws.pf_coords;
+  auto& pf_objects = ws.pf_objects;
+  pf_coords.resize(t);
+  pf_objects.resize(t);
   for (std::size_t s = 0; s < t; ++s) {
-    coords[s] = coords_rng.below(objects.size());
-    probe_objects[s] = objects[coords[s]];
+    pf_coords[s] = coords_rng.below(objects.size());
+    pf_objects[s] = objects[pf_coords[s]];
   }
-  std::vector<std::uint8_t> own_bits(t);
-  env.own_probe_many(p, probe_objects, own_bits);
+  ws.pf_own_words.assign(bitkernel::word_count(t), 0);
+  BitRow own_bits(ws.pf_own_words.data(), t);
+  env.own_probe_bits(p, pf_objects, own_bits);
   out.probes += t;
 
-  std::vector<std::pair<std::size_t, std::size_t>> scored;  // (disagreements, idx)
-  scored.reserve(candidates.size());
+  auto& scored = ws.pf_scored;  // (disagreements, idx)
+  scored.clear();
   for (std::size_t i = 0; i < candidates.size(); ++i) {
     std::size_t miss = 0;
     for (std::size_t s = 0; s < t; ++s)
-      if (candidates[i].get(coords[s]) != (own_bits[s] != 0)) ++miss;
+      if (candidates[i].get(pf_coords[s]) != own_bits.get(s)) ++miss;
     scored.emplace_back(miss, i);
   }
   std::stable_sort(scored.begin(), scored.end());
 
-  std::vector<ConstBitRow> finalists;
-  std::vector<std::size_t> finalist_ids;
-  finalists.reserve(max_finalists);
+  auto& finalists = ws.pf_finalists;
+  auto& finalist_ids = ws.pf_finalist_ids;
+  finalists.clear();
+  finalist_ids.clear();
   for (std::size_t i = 0; i < max_finalists; ++i) {
     finalists.push_back(candidates[scored[i].second]);
     finalist_ids.push_back(scored[i].second);

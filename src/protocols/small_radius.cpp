@@ -6,6 +6,7 @@
 #include "src/common/assert.hpp"
 #include "src/common/bitmatrix.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/common/workspace.hpp"
 #include "src/protocols/select.hpp"
 
 namespace colscore {
@@ -47,25 +48,50 @@ SmallRadiusResult small_radius(std::span<const PlayerId> players,
 
   // candidates[r] row i = candidate vector of players[i] from repeat r.
   // Contiguous rows: the per-subset parallel writes below touch only their
-  // own row, and BitMatrix rows never share a cache line.
-  std::vector<BitMatrix> candidates(params.repeats);
+  // own row, and BitMatrix rows never share a cache line. The matrices are
+  // pooled in the per-thread workspace so repeated grid cells reuse the
+  // allocation (sr_* group; disjoint from calculate_preferences' cp_* pool,
+  // whose matrices are live while this runs).
+  std::vector<BitMatrix>& candidates = RunWorkspace::current().sr_candidates;
+  if (candidates.size() < params.repeats) candidates.resize(params.repeats);
+
+  // Flat partition buffers (counting sort) — a vector-of-vectors here cost s
+  // allocations per repeat.
+  RunWorkspace& ws = RunWorkspace::current();
+  auto& subset_of = ws.sr_subset_of;
+  auto& subset_offsets = ws.sr_subset_offsets;
+  auto& subset_cursor = ws.sr_subset_cursor;
+  auto& coords_flat = ws.sr_coords_flat;
+  auto& sub_objects = ws.sr_sub_objects;
 
   for (std::size_t rep = 0; rep < params.repeats; ++rep) {
     const std::uint64_t rep_key = mix_keys(phase_key, 0x5e9ULL, rep);
 
-    // Step 1: shared random partition of objects into s subsets.
+    // Step 1: shared random partition of objects into s subsets (same draw
+    // per coordinate as the vector-of-vectors formulation, then a counting
+    // sort so subset j's coordinate indices stay ascending).
     Rng shared = env.shared_rng(mix_keys(rep_key, 0x9a97ULL));
-    std::vector<std::vector<std::size_t>> subset_coords(s);  // coordinate indices
+    subset_of.resize(objects.size());
     for (std::size_t j = 0; j < objects.size(); ++j)
-      subset_coords[shared.below(s)].push_back(j);
+      subset_of[j] = static_cast<std::uint32_t>(shared.below(s));
+    subset_offsets.assign(s + 1, 0);
+    for (std::uint32_t sub : subset_of) ++subset_offsets[sub + 1];
+    for (std::size_t sub = 1; sub <= s; ++sub)
+      subset_offsets[sub] += subset_offsets[sub - 1];
+    coords_flat.resize(objects.size());
+    subset_cursor.assign(subset_offsets.begin(), subset_offsets.end() - 1);
+    for (std::size_t j = 0; j < objects.size(); ++j)
+      coords_flat[subset_cursor[subset_of[j]]++] = j;
 
-    candidates[rep] = BitMatrix(players.size(), objects.size());
+    candidates[rep].reset(players.size(), objects.size());
 
     // Steps 2-3 per subset: ZeroRadius, support-vote U_i, per-player Select.
     for (std::size_t sub = 0; sub < s; ++sub) {
-      const auto& coords = subset_coords[sub];
+      const std::span<const std::size_t> coords{
+          coords_flat.data() + subset_offsets[sub],
+          subset_offsets[sub + 1] - subset_offsets[sub]};
       if (coords.empty()) continue;
-      std::vector<ObjectId> sub_objects(coords.size());
+      sub_objects.resize(coords.size());
       for (std::size_t j = 0; j < coords.size(); ++j) sub_objects[j] = objects[coords[j]];
 
       const std::uint64_t sub_key = mix_keys(rep_key, 0x50b5ULL, sub);
@@ -73,14 +99,23 @@ SmallRadiusResult small_radius(std::span<const PlayerId> players,
       result.stats.zr.merge(zr_out.stats);
 
       // Publish outputs so support can be counted on the board (dishonest
-      // players may publish garbage here).
+      // players may publish garbage here). Honest publications are the
+      // protocol output verbatim — no behaviour call, no RNG stream (an
+      // honest publication never draws from it).
       const std::uint64_t channel = mix_keys(sub_key, 0xbea0ULL);
       const ReportContext rctx{Phase::kSmallRadius, channel};
-      for (std::size_t i = 0; i < players.size(); ++i) {
-        Rng prng = env.local_rng(players[i], channel);
-        env.board.post_vector(channel, players[i],
-                              env.population.publication(players[i], zr_out.outputs[i],
-                                                         sub_objects, rctx, prng));
+      {
+        auto writer = env.board.vector_channel(channel);
+        for (std::size_t i = 0; i < players.size(); ++i) {
+          if (env.population.is_honest(players[i])) {
+            writer.post(players[i], std::move(zr_out.outputs[i]));
+            continue;
+          }
+          Rng prng = env.local_rng(players[i], channel);
+          writer.post(players[i],
+                      env.population.publication(players[i], zr_out.outputs[i],
+                                                 sub_objects, rctx, prng));
+        }
       }
       auto supported = env.board.vectors_by_support(channel);
       std::vector<BitVector> ui;
@@ -98,16 +133,20 @@ SmallRadiusResult small_radius(std::span<const PlayerId> players,
         }
       }
 
-      // Step 3: every player selects its vector for this subset.
+      // Step 3: every player selects its vector for this subset. The view
+      // list is built once here instead of once per player inside the
+      // BitVector overload.
+      const std::vector<ConstBitRow> ui_views(ui.begin(), ui.end());
       parallel_for(0, players.size(), [&](std::size_t i) {
         const SelectOutcome sel = select_prefiltered(
-            players[i], ui, sub_objects, env, mix_keys(sub_key, players[i]),
+            players[i], ui_views, sub_objects, env, mix_keys(sub_key, players[i]),
             params.probes_per_pair, params.prefilter_probes, params.max_finalists,
             /*skip_below=*/0);
         // Write the chosen subset vector into the repeat's full candidate.
         BitRow row = candidates[rep].row(i);
+        const ConstBitRow chosen(ui[sel.chosen]);
         for (std::size_t j = 0; j < coords.size(); ++j)
-          row.set(coords[j], ui[sel.chosen].get(j));
+          row.set(coords[j], chosen.get(j));
       });
     }
   }

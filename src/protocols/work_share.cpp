@@ -4,6 +4,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/common/workspace.hpp"
 
 namespace colscore {
 
@@ -12,10 +13,13 @@ namespace colscore {
 // probe per (object, vote) — which hammers the per-player atomic counters —
 // the loop materialises the shared-random voter assignment first, groups the
 // slots by voter, and lets each honest voter answer its whole slate through
-// ProbeOracle::probe_many (one charge round-trip per voter). Verdicts are
-// identical to the one-probe-at-a-time formulation: assignments, tie-break
-// coins, and per-slot RNG streams are all derived from stable keys, never
-// from execution order.
+// the word-level probe pipeline (one charge round-trip per voter; contiguous
+// slates ride ProbeOracle::probe_row, scattered ones the staged gather).
+// Verdicts are identical to the one-probe-at-a-time formulation:
+// assignments, tie-break coins, and per-slot RNG streams are all derived
+// from stable keys, never from execution order. Assignment/report buffers
+// come from the per-thread workspace (vt_* group) so back-to-back clusters
+// and grid cells reuse them.
 BitVector cluster_votes(std::span<const PlayerId> members, ProtocolEnv& env,
                         std::uint64_t phase_key, const WorkShareParams& params,
                         WorkShareStats* stats) {
@@ -23,12 +27,15 @@ BitVector cluster_votes(std::span<const PlayerId> members, ProtocolEnv& env,
   const std::size_t n_objects = env.n_objects();
   const std::size_t k = params.votes_per_object;
   const std::size_t n_slots = n_objects * k;
+  RunWorkspace& ws = env.workspace();
 
   // Phase 1: derive the voter assignment and tie-break coins from the shared
   // randomness (with an honest beacon the adversary cannot aim its members
   // at chosen objects). slot = object * k + vote_index.
-  std::vector<std::uint32_t> voter_of(n_slots);
-  std::vector<std::uint8_t> tie_coin(n_objects);
+  auto& voter_of = ws.vt_voter_of;
+  auto& tie_coin = ws.vt_tie_coin;
+  voter_of.resize(n_slots);
+  tie_coin.resize(n_objects);
   parallel_for(0, n_objects, [&](std::size_t o) {
     Rng assign = env.shared_rng(mix_keys(phase_key, 0xa551ULL, o));
     for (std::size_t v = 0; v < k; ++v)
@@ -40,34 +47,43 @@ BitVector cluster_votes(std::span<const PlayerId> members, ProtocolEnv& env,
 
   // Phase 2: group slots by voter (counting sort — slot order within a voter
   // follows slot index, so batches are deterministic).
-  std::vector<std::size_t> offsets(members.size() + 1, 0);
+  auto& offsets = ws.vt_offsets;
+  offsets.assign(members.size() + 1, 0);
   for (std::uint32_t m : voter_of) ++offsets[m + 1];
   for (std::size_t m = 1; m <= members.size(); ++m) offsets[m] += offsets[m - 1];
-  std::vector<std::uint32_t> slots_of_voter(n_slots);
+  auto& slots_of_voter = ws.vt_slots_of_voter;
+  slots_of_voter.resize(n_slots);
   {
-    std::vector<std::size_t> cursor(offsets.begin(), offsets.end() - 1);
+    auto& cursor = ws.vt_cursor;
+    cursor.assign(offsets.begin(), offsets.end() - 1);
     for (std::size_t slot = 0; slot < n_slots; ++slot)
       slots_of_voter[cursor[voter_of[slot]]++] = static_cast<std::uint32_t>(slot);
   }
 
-  // Phase 3: each voter answers its slate. Honest voters batch-probe;
-  // dishonest voters go through their behaviour slot by slot with the same
-  // (phase_key, object, vote) RNG streams the serial formulation used.
+  // Phase 3: each voter answers its slate. Honest voters batch-probe through
+  // the bit pipeline; dishonest voters go through their behaviour slot by
+  // slot with the same (phase_key, object, vote) RNG streams the serial
+  // formulation used. Bodies use their own thread's vt_slate_* scratch,
+  // disjoint from the caller's buffers above.
   const ReportContext ctx{Phase::kVote, phase_key};
-  std::vector<std::uint8_t> report_of_slot(n_slots);
+  auto& report_of_slot = ws.vt_report_of_slot;
+  report_of_slot.resize(n_slots);
   parallel_for(0, members.size(), [&](std::size_t m) {
     const PlayerId voter = members[m];
     const std::span<const std::uint32_t> slate{
         slots_of_voter.data() + offsets[m], offsets[m + 1] - offsets[m]};
     if (slate.empty()) return;
     if (env.population.is_honest(voter)) {
-      std::vector<ObjectId> objects(slate.size());
+      RunWorkspace& tws = RunWorkspace::current();
+      auto& objects = tws.vt_slate_objects;
+      objects.resize(slate.size());
       for (std::size_t i = 0; i < slate.size(); ++i)
         objects[i] = static_cast<ObjectId>(slate[i] / k);
-      std::vector<std::uint8_t> bits(slate.size());
-      env.oracle.probe_many(voter, objects, bits);
+      tws.vt_slate_words.assign(bitkernel::word_count(slate.size()), 0);
+      BitRow bits(tws.vt_slate_words.data(), slate.size());
+      env.oracle.probe_gather(voter, objects, bits);
       for (std::size_t i = 0; i < slate.size(); ++i)
-        report_of_slot[slate[i]] = bits[i];
+        report_of_slot[slate[i]] = bits.get(i) ? 1 : 0;
     } else {
       for (std::uint32_t slot : slate) {
         const auto object = static_cast<ObjectId>(slot / k);
@@ -82,16 +98,23 @@ BitVector cluster_votes(std::span<const PlayerId> members, ProtocolEnv& env,
 
   // Phase 4: post the reports and take majorities.
   std::atomic<std::uint64_t> ties{0};
-  std::vector<std::uint8_t> verdicts(n_objects, 0);
+  auto& verdicts = ws.vt_verdicts;
+  verdicts.assign(n_objects, 0);
   parallel_for(0, n_objects, [&](std::size_t o) {
     const auto object = static_cast<ObjectId>(o);
+    RunWorkspace& tws = RunWorkspace::current();
+    auto& authors = tws.vt_authors;
+    authors.resize(k);
     std::size_t ones = 0;
     for (std::size_t v = 0; v < k; ++v) {
       const std::uint32_t slot = o * k + v;
-      const bool report = report_of_slot[slot] != 0;
-      env.board.post_report(phase_key, members[voter_of[slot]], object, report);
-      if (report) ++ones;
+      authors[v] = members[voter_of[slot]];
+      if (report_of_slot[slot] != 0) ++ones;
     }
+    // An object's k votes are contiguous slots, so the whole block posts in
+    // one board round-trip (identical report order and content).
+    env.board.post_reports(phase_key, object, authors,
+                           {report_of_slot.data() + o * k, k});
     const std::size_t zeros = k - ones;
     bool verdict;
     if (ones > zeros) {

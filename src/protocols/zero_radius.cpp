@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
 
 #include "src/common/assert.hpp"
 #include "src/common/thread_pool.hpp"
+#include "src/common/workspace.hpp"
 
 namespace colscore {
 
@@ -53,26 +53,47 @@ void shared_partition(std::span<const T> items, Rng& shared, std::vector<T>& lef
 
 /// One player adopts a vector over `objects` from the published candidates.
 /// `verify_key` seeds the deterministic verification coordinates.
+///
+/// The per-coordinate probe memo is a two-plane bit cache plus a probed-coord
+/// list (zr_* workspace group) — this runs once per learner per merge, and
+/// the hash map it replaced was the hottest allocation in whole-suite sweeps.
 BitVector adopt(PlayerId p, std::span<const ObjectId> objects,
                 const std::vector<BulletinBoard::SupportedVector>& candidates,
                 Ctx& ctx, std::uint64_t verify_key, ZeroRadiusStats& stats) {
   if (candidates.empty()) {
-    // Nothing published at all (degenerate); probe everything we can afford.
+    // Nothing published at all (degenerate); probe everything we can afford
+    // (one batched charge — the whole slate is known up front).
     ++stats.fallbacks;
     BitVector own(objects.size());
     const std::size_t limit = std::min(objects.size(), ctx.elim_cap);
-    for (std::size_t i = 0; i < limit; ++i)
-      own.set(i, ctx.env.own_probe(p, objects[i]));
+    if (limit == objects.size()) {
+      ctx.env.own_probe_bits(p, objects, own);
+    } else if (limit != 0) {
+      RunWorkspace& ws = ctx.env.workspace();
+      ws.zr_batch_words.assign(bitkernel::word_count(limit), 0);
+      BitRow got(ws.zr_batch_words.data(), limit);
+      ctx.env.own_probe_bits(p, objects.subspan(0, limit), got);
+      for (std::size_t i = 0; i < limit; ++i) own.set(i, got.get(i));
+    }
     return own;
   }
 
-  std::vector<std::size_t> alive(candidates.size());
+  RunWorkspace& ws = ctx.env.workspace();
+  const std::size_t words = bitkernel::word_count(objects.size());
+  ws.zr_probed_words.assign(words, 0);
+  ws.zr_value_words.assign(words, 0);
+  BitRow probed(ws.zr_probed_words.data(), objects.size());
+  BitRow pvalue(ws.zr_value_words.data(), objects.size());
+  auto& probed_coords = ws.zr_coords;  // coord -> own truth lives in the planes
+  probed_coords.clear();
+
+  auto& alive = ws.zr_alive;
+  alive.resize(candidates.size());
   for (std::size_t i = 0; i < alive.size(); ++i) alive[i] = i;
 
-  std::unordered_map<std::size_t, bool> probed;  // coord -> own truth
   std::size_t probes_used = 0;
   bool fell_back = false;
-  std::vector<std::size_t> diff;  // reused across elimination rounds
+  auto& diff = ws.zr_diff;  // reused across elimination rounds
 
   while (alive.size() > 1) {
     // Deduplicate identical leaders to avoid probing ties.
@@ -87,17 +108,21 @@ BitVector adopt(PlayerId p, std::span<const ObjectId> objects,
       fell_back = true;
       break;
     }
+    // Elimination is inherently adaptive — each coordinate choice depends on
+    // the previous answer — so this stays a per-coordinate probe.
     const std::size_t coord = diff.front();
     bool bit;
-    if (auto it = probed.find(coord); it != probed.end()) {
-      bit = it->second;
+    if (probed.get(coord)) {
+      bit = pvalue.get(coord);
     } else {
       bit = ctx.env.own_probe(p, objects[coord]);
       ++probes_used;
-      probed.emplace(coord, bit);
+      probed.set(coord, true);
+      pvalue.set(coord, bit);
+      probed_coords.push_back(coord);
     }
-    std::vector<std::size_t> next;
-    next.reserve(alive.size());
+    auto& next = ws.zr_next;
+    next.clear();
     for (std::size_t idx : alive)
       if (candidates[idx].vector.get(coord) == bit) next.push_back(idx);
     if (next.empty()) {
@@ -106,7 +131,7 @@ BitVector adopt(PlayerId p, std::span<const ObjectId> objects,
       fell_back = true;
       break;
     }
-    alive = std::move(next);
+    std::swap(alive, next);
   }
 
   if (fell_back) ++stats.fallbacks;
@@ -118,17 +143,38 @@ BitVector adopt(PlayerId p, std::span<const ObjectId> objects,
   // The coordinates are SHARED across learners (derived from the channel, not
   // the player): identical twins must patch identical coordinates, otherwise
   // their published vectors fragment and upstream support voting collapses.
+  // The draw stream never depends on probe results, so the whole slate is
+  // drawn first and the not-yet-probed coordinates charge in one batch.
   Rng verify(mix_keys(verify_key, 0x7e81f1ULL));
-  for (std::size_t s = 0; s < ctx.verify_probes && s < objects.size(); ++s) {
-    const std::size_t coord = verify.below(objects.size());
-    if (probed.contains(coord)) continue;
-    const bool bit = ctx.env.own_probe(p, objects[coord]);
-    probed.emplace(coord, bit);
-    if (result.get(coord) != bit) ++stats.repairs;
+  auto& verify_coords = ws.zr_verify_coords;
+  auto& batch_coords = ws.zr_batch_coords;
+  auto& batch_objects = ws.zr_batch_objects;
+  verify_coords.clear();
+  batch_coords.clear();
+  batch_objects.clear();
+  for (std::size_t s = 0; s < ctx.verify_probes && s < objects.size(); ++s)
+    verify_coords.push_back(verify.below(objects.size()));
+  for (std::size_t coord : verify_coords) {
+    if (probed.get(coord)) continue;
+    probed.set(coord, true);  // also dedups repeats inside this batch
+    batch_coords.push_back(coord);
+    batch_objects.push_back(objects[coord]);
+  }
+  if (!batch_coords.empty()) {
+    ws.zr_batch_words.assign(bitkernel::word_count(batch_coords.size()), 0);
+    BitRow got(ws.zr_batch_words.data(), batch_coords.size());
+    ctx.env.own_probe_bits(p, batch_objects, got);
+    for (std::size_t b = 0; b < batch_coords.size(); ++b) {
+      const std::size_t coord = batch_coords[b];
+      const bool bit = got.get(b);
+      pvalue.set(coord, bit);
+      probed_coords.push_back(coord);
+      if (result.get(coord) != bit) ++stats.repairs;
+    }
   }
 
   // Patch in everything this player actually observed.
-  for (const auto& [coord, bit] : probed) result.set(coord, bit);
+  for (std::size_t coord : probed_coords) result.set(coord, pvalue.get(coord));
   return result;
 }
 
@@ -143,12 +189,21 @@ void cross_adopt(std::span<const PlayerId> learners,
   const ReportContext rctx{Phase::kZeroRadius, channel};
   // Publications are serial so board ordering (and thus candidate order) is
   // deterministic; adoption below is the expensive part and runs parallel.
-  for (std::size_t i = 0; i < publishers.size(); ++i) {
-    const PlayerId q = publishers[i];
-    Rng prng = ctx.env.local_rng(q, channel);
-    BitVector published = ctx.env.population.publication(q, publisher_outputs[i],
-                                                         objects, rctx, prng);
-    ctx.env.board.post_vector(channel, q, std::move(published));
+  // Honest players publish their protocol output verbatim, so the behaviour
+  // table (and its per-player RNG stream, which an honest publication never
+  // draws from) is only consulted for dishonest ones.
+  {
+    auto writer = ctx.env.board.vector_channel(channel);
+    for (std::size_t i = 0; i < publishers.size(); ++i) {
+      const PlayerId q = publishers[i];
+      if (ctx.env.population.is_honest(q)) {
+        writer.post(q, publisher_outputs[i]);
+        continue;
+      }
+      Rng prng = ctx.env.local_rng(q, channel);
+      writer.post(q, ctx.env.population.publication(q, publisher_outputs[i],
+                                                    objects, rctx, prng));
+    }
   }
 
   auto supported = ctx.env.board.vectors_by_support(channel);
@@ -185,12 +240,12 @@ ZeroRadiusResult solve(std::span<const PlayerId> players,
   if (players.empty() || objects.empty()) return result;
 
   if (std::min(players.size(), objects.size()) <= ctx.base_threshold) {
-    // Base case: every player probes every object in O.
+    // Base case: every player probes every object in O — a whole known slate
+    // per player, so each row is one batched charge through the word-level
+    // pipeline (contiguous object spans skip bit staging entirely).
     result.stats.base_case_players = players.size();
     parallel_for(0, players.size(), [&](std::size_t i) {
-      BitVector& row = result.outputs[i];
-      for (std::size_t j = 0; j < objects.size(); ++j)
-        row.set(j, ctx.env.own_probe(players[i], objects[j]));
+      ctx.env.own_probe_bits(players[i], objects, result.outputs[i]);
     });
     return result;
   }
@@ -218,23 +273,31 @@ ZeroRadiusResult solve(std::span<const PlayerId> players,
               mix_keys(phase_key, 0xC0, 2), result.stats);
 
   // Reassemble full vectors in the original `objects` coordinate order.
-  std::unordered_map<ObjectId, std::size_t> coord_of;
-  coord_of.reserve(objects.size());
-  for (std::size_t j = 0; j < objects.size(); ++j) coord_of.emplace(objects[j], j);
-  std::unordered_map<PlayerId, std::size_t> row_of;
-  row_of.reserve(players.size());
-  for (std::size_t i = 0; i < players.size(); ++i) row_of.emplace(players[i], i);
+  // Index maps are flat workspace arrays, not per-level hash maps: this node
+  // stamps its whole span after the recursion below it has finished with the
+  // arrays, and only ever reads ids inside its span.
+  RunWorkspace& ws = ctx.env.workspace();
+  auto& coord_of = ws.ze_coord_of;
+  auto& row_of = ws.ze_row_of;
+  if (coord_of.size() < ctx.env.n_objects()) coord_of.resize(ctx.env.n_objects());
+  if (row_of.size() < ctx.env.n_players()) row_of.resize(ctx.env.n_players());
+  for (std::size_t j = 0; j < objects.size(); ++j)
+    coord_of[objects[j]] = static_cast<std::uint32_t>(j);
+  for (std::size_t i = 0; i < players.size(); ++i)
+    row_of[players[i]] = static_cast<std::uint32_t>(i);
 
   auto emit = [&](std::span<const PlayerId> group, const std::vector<BitVector>& own,
                   std::span<const ObjectId> own_objs,
                   const std::vector<BitVector>& adopted,
                   std::span<const ObjectId> adopted_objs) {
     parallel_for(0, group.size(), [&](std::size_t i) {
-      BitVector& row = result.outputs[row_of.at(group[i])];
+      BitRow row(result.outputs[row_of[group[i]]]);
+      const ConstBitRow own_bits(own[i]);
+      const ConstBitRow adopted_bits(adopted[i]);
       for (std::size_t j = 0; j < own_objs.size(); ++j)
-        row.set(coord_of.at(own_objs[j]), own[i].get(j));
+        row.set(coord_of[own_objs[j]], own_bits.get(j));
       for (std::size_t j = 0; j < adopted_objs.size(); ++j)
-        row.set(coord_of.at(adopted_objs[j]), adopted[i].get(j));
+        row.set(coord_of[adopted_objs[j]], adopted_bits.get(j));
     });
   };
   emit(p_left, left.outputs, o_left, left_adopted, o_right);

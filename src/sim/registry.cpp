@@ -7,6 +7,7 @@
 
 #include "src/baseline/baselines.hpp"
 #include "src/common/assert.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/common/timer.hpp"
 #include "src/core/calculate_preferences.hpp"
 #include "src/protocols/env.hpp"
@@ -493,6 +494,9 @@ ExperimentOutcome run_scenario(const Scenario& scenario) {
   const World world = build_scenario_world(scenario);
   const Population pop = build_scenario_population(scenario, world);
   ProbeOracle oracle(world.matrix);
+  // With a single-threaded worker pool every protocol loop runs inline, so
+  // counter charges can skip the atomic RMW (see set_serial_charging).
+  oracle.set_serial_charging(ThreadPool::global().thread_count() <= 1);
   BulletinBoard board;
 
   Params params = scenario.params;

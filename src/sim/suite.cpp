@@ -1,5 +1,6 @@
 #include "src/sim/suite.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <sstream>
 
@@ -56,17 +57,57 @@ std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base,
 
 SuiteRunner::SuiteRunner(SuiteOptions options) : options_(std::move(options)) {}
 
+std::size_t take_reps_axis(std::vector<GridAxis>& axes) {
+  for (auto it = axes.begin(); it != axes.end(); ++it) {
+    if (it->key != "reps") continue;
+    if (it->values.size() != 1)
+      throw ScenarioError(
+          "grid axis 'reps' takes a single replication count (to sweep the "
+          "robust algorithm's outer repetitions, set them on the base spec: "
+          "--set reps=R)");
+    const std::string& value = it->values.front();
+    // stoull silently wraps negatives ("-2" -> huge), so reject them up
+    // front like the registry's override parser does.
+    std::size_t used = 0;
+    std::size_t reps = 0;
+    try {
+      if (value.empty() || value[0] == '-') throw ScenarioError("");
+      reps = std::stoull(value, &used);
+    } catch (...) {
+      used = 0;
+    }
+    if (used != value.size() || reps == 0)
+      throw ScenarioError("grid axis 'reps=" + value +
+                          "': expected a positive integer");
+    axes.erase(it);
+    return reps;
+  }
+  return 1;
+}
+
 std::vector<SuiteRun> SuiteRunner::run(const std::vector<ScenarioSpec>& specs) const {
+  const std::size_t reps = std::max<std::size_t>(1, options_.reps);
+  if (reps > 1 && !options_.derive_seeds)
+    throw ScenarioError("reps > 1 requires derived seeds (the k replicas "
+                        "would otherwise be identical runs)");
   // Resolve everything first: name/key errors surface before any run starts,
   // and seed derivation depends only on the (deterministic) expansion index.
-  std::vector<SuiteRun> runs(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    runs[i].index = i;
-    runs[i].spec = specs[i];
-    runs[i].scenario = Scenario::resolve(specs[i]);
-    if (options_.derive_seeds)
-      runs[i].scenario.seed =
-          mix_keys(options_.seed_salt, i, runs[i].scenario.seed);
+  // Reps vary fastest, so a cell's replicas stream out adjacent to each
+  // other; the flat index feeds seed derivation, which keeps every
+  // (cell, rep) seed distinct and schedule-independent.
+  std::vector<SuiteRun> runs(specs.size() * reps);
+  for (std::size_t si = 0; si < specs.size(); ++si) {
+    const Scenario resolved = Scenario::resolve(specs[si]);
+    for (std::size_t r = 0; r < reps; ++r) {
+      const std::size_t i = si * reps + r;
+      runs[i].index = i;
+      runs[i].rep = r;
+      runs[i].spec = specs[si];
+      runs[i].scenario = resolved;
+      if (options_.derive_seeds)
+        runs[i].scenario.seed =
+            mix_keys(options_.seed_salt, i, runs[i].scenario.seed);
+    }
   }
 
   // Ordered streaming: a completed run is emitted once every earlier run has
@@ -102,22 +143,29 @@ std::vector<SuiteRun> SuiteRunner::run(const std::vector<ScenarioSpec>& specs) c
 
 std::vector<SuiteRun> SuiteRunner::run_grid(const ScenarioSpec& base,
                                             std::string_view grid) const {
-  return run(expand_grid(base, parse_grid(grid)));
+  std::vector<GridAxis> axes = parse_grid(grid);
+  const std::size_t grid_reps = take_reps_axis(axes);
+  if (grid_reps == 1) return run(expand_grid(base, axes));
+  SuiteOptions options = options_;
+  options.reps = grid_reps;
+  return SuiteRunner(std::move(options)).run(expand_grid(base, axes));
 }
 
 // ---- CSV --------------------------------------------------------------------
 
-std::vector<std::string> suite_csv_columns(bool include_wall) {
+std::vector<std::string> suite_csv_columns(bool include_wall, bool include_rep) {
   std::vector<std::string> columns{
       "workload",   "algorithm",  "adversary",    "n",
       "budget",     "diameter",   "dishonest",    "seed",
       "max_err",    "mean_err",   "max_probes",   "honest_max_probes",
       "total_probes", "board_reports", "err_over_opt"};
+  if (include_rep) columns.insert(columns.begin() + 8, "rep");
   if (include_wall) columns.push_back("wall_s");
   return columns;
 }
 
-void suite_csv_row(CsvWriter& writer, const SuiteRun& run, bool include_wall) {
+void suite_csv_row(CsvWriter& writer, const SuiteRun& run, bool include_wall,
+                   bool include_rep) {
   const Scenario& sc = run.scenario;
   const ExperimentOutcome& out = run.outcome;
   std::vector<std::string> cells{
@@ -144,6 +192,8 @@ void suite_csv_row(CsvWriter& writer, const SuiteRun& run, bool include_wall) {
         os << out.approx_ratio;
         return os.str();
       }()};
+  if (include_rep)
+    cells.insert(cells.begin() + 8, std::to_string(run.rep));
   if (include_wall) {
     std::ostringstream os;
     os << out.wall_seconds;

@@ -41,10 +41,19 @@ std::vector<GridAxis> parse_grid(std::string_view text);
 std::vector<ScenarioSpec> expand_grid(const ScenarioSpec& base,
                                       const std::vector<GridAxis>& axes);
 
+/// Removes a `reps=K` replication axis from `axes` if present and returns K
+/// (1 when absent). `reps` in a grid is a suite-level axis — every expanded
+/// cell runs K times with distinct mix_keys-derived seeds and rep ids
+/// 0..K-1 — not a scenario override (the robust algorithm's outer
+/// repetitions stay reachable as a base-spec override: --reps / --set
+/// reps=R). Throws ScenarioError unless K is a single positive integer.
+std::size_t take_reps_axis(std::vector<GridAxis>& axes);
+
 // ---- the runner -------------------------------------------------------------
 
 struct SuiteRun {
-  std::size_t index = 0;   // position in the expanded scenario list
+  std::size_t index = 0;   // position in the expanded run list (rep-fastest)
+  std::size_t rep = 0;     // replication id, 0..reps-1
   ScenarioSpec spec;       // as expanded (before seed derivation)
   Scenario scenario;       // resolved config the run actually executed
   ExperimentOutcome outcome;
@@ -54,6 +63,11 @@ struct SuiteOptions {
   /// Worker threads for the suite loop. 0 = the global pool (one thread per
   /// hardware thread); 1 = fully serial in the calling thread.
   std::size_t threads = 0;
+  /// Multi-seed replication: every spec expands into `reps` runs (rep ids
+  /// vary fastest) whose seeds derive from the distinct flat run indices.
+  /// Grid sweeps set this with a `reps=K` axis. Requires derive_seeds —
+  /// with raw seeds the k replicas would be identical runs.
+  std::size_t reps = 1;
   /// Per-run seeds are mix_keys(seed_salt, index, spec seed): deterministic,
   /// schedule-independent, and distinct across grid cells even when the
   /// cells' specs share a seed. Set derive_seeds=false to run each spec's
@@ -84,11 +98,13 @@ class SuiteRunner {
 // ---- CSV --------------------------------------------------------------------
 
 /// Column set shared by the CLI and tests. Wall time is excluded by default
-/// so suite CSVs are bit-for-bit reproducible.
-std::vector<std::string> suite_csv_columns(bool include_wall = false);
+/// so suite CSVs are bit-for-bit reproducible; the `rep` column (after
+/// `seed`) is opt-in so single-run CSVs keep their historical shape.
+std::vector<std::string> suite_csv_columns(bool include_wall = false,
+                                           bool include_rep = false);
 
 /// Appends one row for `run` (column order matches suite_csv_columns).
 void suite_csv_row(CsvWriter& writer, const SuiteRun& run,
-                   bool include_wall = false);
+                   bool include_wall = false, bool include_rep = false);
 
 }  // namespace colscore

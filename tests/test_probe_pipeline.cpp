@@ -1,0 +1,168 @@
+// Equivalence guarantees for the word-level probe pipeline (PR 3).
+//
+// probe_row / probe_gather / own_probe_bits must be indistinguishable from
+// the per-bit probe() formulation in both directions the protocol observes:
+// the bits returned, and the per-player probe charges. The fixed-seed
+// charge-hash tests at the bottom pin the whole pipeline's accounting
+// against values captured on the pre-PR tree.
+#include <gtest/gtest.h>
+
+#include "src/common/thread_pool.hpp"
+#include "src/core/calculate_preferences.hpp"
+#include "src/model/generators.hpp"
+#include "src/protocols/env.hpp"
+#include "src/sim/registry.hpp"
+
+namespace colscore {
+namespace {
+
+PreferenceMatrix random_matrix(std::size_t players, std::size_t objects,
+                               std::uint64_t seed) {
+  PreferenceMatrix m(players, objects);
+  Rng rng(seed);
+  for (PlayerId p = 0; p < players; ++p) m.row(p).randomize(rng);
+  return m;
+}
+
+TEST(ProbePipeline, FillRowWordsMatchesPerBitDefault) {
+  // The native PreferenceMatrix bulk read must agree with the TruthSource
+  // per-bit fallback for every alignment, including cross-word ranges.
+  for (const std::size_t objects : {5u, 64u, 65u, 100u, 256u, 300u}) {
+    const PreferenceMatrix m = random_matrix(4, objects, 0xf111 + objects);
+    for (ObjectId first = 0; first < objects; first += 3) {
+      const std::size_t n = std::min<std::size_t>(objects - first, 77);
+      std::vector<std::uint64_t> native(bitkernel::word_count(n), ~0ULL);
+      std::vector<std::uint64_t> fallback(bitkernel::word_count(n), ~0ULL);
+      m.fill_row_words(1, first, n, native.data());
+      m.TruthSource::fill_row_words(1, first, n, fallback.data());
+      EXPECT_EQ(native, fallback) << "objects=" << objects << " first=" << first;
+    }
+  }
+}
+
+TEST(ProbePipeline, ProbeRowMatchesProbeLoopBitsAndCharges) {
+  Rng picks(0x9e11);
+  const PreferenceMatrix m = random_matrix(8, 200, 42);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto p = static_cast<PlayerId>(picks.below(8));
+    const auto first = static_cast<ObjectId>(picks.below(200));
+    const std::size_t n = picks.below(200 - first) + 1;
+
+    ProbeOracle serial(m);
+    BitVector expected(n);
+    for (std::size_t i = 0; i < n; ++i)
+      expected.set(i, serial.probe(p, static_cast<ObjectId>(first + i)));
+
+    ProbeOracle bulk(m);
+    BitVector got(n);
+    bulk.probe_row(p, first, n, got);
+
+    EXPECT_EQ(got, expected);
+    for (PlayerId q = 0; q < 8; ++q)
+      EXPECT_EQ(bulk.probes_by(q), serial.probes_by(q));
+  }
+}
+
+TEST(ProbePipeline, ProbeGatherMatchesProbeLoopWithDuplicates) {
+  Rng picks(0x6a7e);
+  const PreferenceMatrix m = random_matrix(6, 150, 7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto p = static_cast<PlayerId>(picks.below(6));
+    std::vector<ObjectId> objects(picks.below(40) + 1);
+    for (ObjectId& o : objects) o = static_cast<ObjectId>(picks.below(150));
+
+    ProbeOracle serial(m);
+    BitVector expected(objects.size());
+    for (std::size_t i = 0; i < objects.size(); ++i)
+      expected.set(i, serial.probe(p, objects[i]));  // duplicates pay, no memo
+
+    ProbeOracle bulk(m);
+    BitVector got(objects.size());
+    bulk.probe_gather(p, objects, got);
+
+    EXPECT_EQ(got, expected);
+    EXPECT_EQ(bulk.probes_by(p), serial.probes_by(p));
+    EXPECT_EQ(bulk.total_probes(), serial.total_probes());
+  }
+}
+
+TEST(ProbePipeline, HardModeChargesMatchAndEnforceBudget) {
+  const PreferenceMatrix m = random_matrix(4, 96, 11);
+  // Within budget: kHard behaves exactly like kTrack.
+  ProbeOracle serial(m, ProbeOracle::BudgetMode::kHard, 96);
+  ProbeOracle bulk(m, ProbeOracle::BudgetMode::kHard, 96);
+  BitVector expected(96), got(96);
+  for (ObjectId o = 0; o < 96; ++o) expected.set(o, serial.probe(2, o));
+  bulk.probe_row(2, 0, 96, got);
+  EXPECT_EQ(got, expected);
+  EXPECT_EQ(bulk.probes_by(2), serial.probes_by(2));
+  EXPECT_EQ(bulk.probes_by(2), 96u);
+  // One probe past the budget aborts in both formulations.
+  EXPECT_DEATH(bulk.probe(2, 0), "budget");
+}
+
+TEST(ProbePipeline, OwnProbeBitsHonestChargesDishonestPeeksFree) {
+  const std::size_t n = 32;
+  World world = identical_clusters(n, n, 2, Rng(3));
+  Population pop(n);
+  pop.set_behavior(5, std::make_unique<Inverter>());
+  ProbeOracle oracle(world.matrix);
+  BulletinBoard board;
+  HonestBeacon beacon(1);
+  ProtocolEnv env(oracle, board, pop, beacon);
+
+  std::vector<ObjectId> scattered{3, 9, 4, 20};
+  std::vector<ObjectId> contiguous{8, 9, 10, 11, 12};
+  BitVector out4(4), out5(5);
+
+  env.own_probe_bits(2, scattered, out4);   // honest: charged
+  env.own_probe_bits(2, contiguous, out5);  // honest: word path, charged
+  EXPECT_EQ(oracle.probes_by(2), 9u);
+  for (std::size_t i = 0; i < scattered.size(); ++i)
+    EXPECT_EQ(out4.get(i), world.matrix.preference(2, scattered[i]));
+  for (std::size_t i = 0; i < contiguous.size(); ++i)
+    EXPECT_EQ(out5.get(i), world.matrix.preference(2, contiguous[i]));
+
+  env.own_probe_bits(5, scattered, out4);  // dishonest: free omniscient peek
+  EXPECT_EQ(oracle.probes_by(5), 0u);
+  for (std::size_t i = 0; i < scattered.size(); ++i)
+    EXPECT_EQ(out4.get(i), world.matrix.preference(5, scattered[i]));
+}
+
+/// FNV-style hash over the per-player probe counters after a full
+/// calculate_preferences run.
+std::uint64_t charge_hash(const char* spec_text) {
+  ThreadPool::reset_global(1);
+  const Scenario sc = Scenario::resolve(ScenarioSpec::parse(spec_text));
+  const World world = build_scenario_world(sc);
+  const Population pop = build_scenario_population(sc, world);
+  ProbeOracle oracle(world.matrix);
+  BulletinBoard board;
+  Params params = sc.params;
+  params.budget = sc.budget;
+  HonestBeacon beacon(mix_keys(sc.seed, 0xbeacULL));
+  ProtocolEnv env(oracle, board, pop, beacon, mix_keys(sc.seed, 0x10ca1ULL));
+  calculate_preferences(env, params, mix_keys(sc.seed, 0xca1cULL));
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (PlayerId p = 0; p < sc.n; ++p) {
+    h ^= oracle.probes_by(p);
+    h *= 0x100000001b3ULL;
+  }
+  ThreadPool::reset_global(0);
+  return h;
+}
+
+// Golden per-player charge hashes captured on the pre-PR-3 tree: the word
+// pipeline, batched tournament charging, and workspace reuse must leave
+// every player's probe bill untouched.
+TEST(ProbePipeline, FixedSeedPerPlayerChargesUnchanged) {
+  EXPECT_EQ(charge_hash("workload=planted n=128 budget=4 dishonest=8 "
+                        "adversary=sleeper seed=3"),
+            0xbd25859a27ed9f0ULL);
+  EXPECT_EQ(charge_hash("workload=planted n=96 budget=4 dishonest=6 "
+                        "adversary=hijacker seed=7"),
+            0xb0e63b84c0986d83ULL);
+}
+
+}  // namespace
+}  // namespace colscore

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
 
 namespace colscore {
@@ -131,6 +132,70 @@ TEST(SuiteRunner, RawSeedsRunSpecsUntouched) {
   const auto runs = SuiteRunner(options).run({base});
   ASSERT_EQ(runs.size(), 1u);
   EXPECT_EQ(runs[0].scenario.seed, 77u);
+}
+
+TEST(Grid, TakeRepsAxisExtractsAndValidates) {
+  auto axes = parse_grid("n=64,128 x reps=3 x adversary=none,sleeper");
+  EXPECT_EQ(take_reps_axis(axes), 3u);
+  ASSERT_EQ(axes.size(), 2u);  // reps removed, other axes untouched
+  EXPECT_EQ(axes[0].key, "n");
+  EXPECT_EQ(axes[1].key, "adversary");
+
+  auto no_reps = parse_grid("n=64,128");
+  EXPECT_EQ(take_reps_axis(no_reps), 1u);
+  ASSERT_EQ(no_reps.size(), 1u);
+
+  auto multi = parse_grid("reps=2,3");
+  EXPECT_THROW(take_reps_axis(multi), ScenarioError);
+  auto zero = parse_grid("reps=0");
+  EXPECT_THROW(take_reps_axis(zero), ScenarioError);
+  auto junk = parse_grid("reps=three");
+  EXPECT_THROW(take_reps_axis(junk), ScenarioError);
+  auto negative = parse_grid("reps=-2");  // stoull would silently wrap this
+  EXPECT_THROW(take_reps_axis(negative), ScenarioError);
+}
+
+TEST(SuiteRunner, RepsReplicateEveryCellWithDistinctSeeds) {
+  const auto runs =
+      SuiteRunner(SuiteOptions{.threads = 1})
+          .run_grid(small_base(), "adversary=none,sleeper x reps=3");
+  ASSERT_EQ(runs.size(), 6u);  // 2 cells x 3 reps, rep fastest
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].index, i);
+    EXPECT_EQ(runs[i].rep, i % 3);
+    EXPECT_EQ(runs[i].spec.adversary, i < 3 ? "none" : "sleeper");
+    seeds.push_back(runs[i].scenario.seed);
+  }
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()), seeds.end());
+}
+
+TEST(SuiteRunner, RepsCsvColumnAndParallelDeterminism) {
+  auto reps_csv = [&](std::size_t threads) {
+    std::ostringstream out;
+    CsvWriter writer(out, suite_csv_columns(false, /*include_rep=*/true));
+    SuiteOptions options;
+    options.threads = threads;
+    options.on_result = [&](const SuiteRun& run) {
+      suite_csv_row(writer, run, false, /*include_rep=*/true);
+    };
+    return std::make_pair(
+        SuiteRunner(options).run_grid(small_base(), "adversary=none x reps=4"),
+        out.str());
+  };
+  const auto [serial_runs, serial] = reps_csv(1);
+  const auto [parallel_runs, parallel] = reps_csv(3);
+  ASSERT_EQ(serial_runs.size(), 4u);
+  EXPECT_EQ(serial, parallel);
+  EXPECT_NE(serial.find(",rep,"), std::string::npos);
+}
+
+TEST(SuiteRunner, RepsRequireDerivedSeeds) {
+  SuiteOptions options;
+  options.reps = 2;
+  options.derive_seeds = false;
+  EXPECT_THROW(SuiteRunner(options).run({small_base()}), ScenarioError);
 }
 
 TEST(SuiteRunner, ResolutionErrorsSurfaceBeforeAnyRun) {

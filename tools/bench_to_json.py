@@ -1,19 +1,25 @@
 #!/usr/bin/env python3
-"""Run a google-benchmark binary and distill its JSON into a compact record.
+"""Run one or more google-benchmark binaries and distill their JSON into a
+single compact record.
 
 Usage:
-    tools/bench_to_json.py BENCH_BINARY [--filter REGEX] [--out FILE]
+    tools/bench_to_json.py BENCH_BINARY [BENCH_BINARY ...]
+                           [--filter REGEX] [--out FILE]
                            [--label KEY=VALUE ...]
 
 The full google-benchmark JSON is verbose (context + per-iteration noise);
 this keeps one entry per benchmark (name, real/cpu time in seconds,
-iterations, user counters) plus freeform labels (e.g. --label pr=2
+iterations, user counters) plus freeform labels (e.g. --label pr=3
 --label baseline_s=0.2508), which is what the BENCH_*.json trajectory files
-in the repo root record.
+in the repo root record. With several binaries (e.g. bench_neighbor_graph
+and bench_suite_throughput) the entries merge into one trajectory record;
+each entry is tagged with the binary it came from so CI can track every
+tracked bench in a single artifact.
 """
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 
@@ -60,7 +66,8 @@ def distill(raw: dict) -> list[dict]:
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("binary", help="google-benchmark executable")
+    parser.add_argument("binaries", nargs="+", metavar="binary",
+                        help="google-benchmark executable(s); entries merge")
     parser.add_argument("--filter", default=None, help="--benchmark_filter regex")
     parser.add_argument("--out", default=None, help="output path (default stdout)")
     parser.add_argument("--label", action="append", default=[],
@@ -74,14 +81,22 @@ def main() -> None:
             raise SystemExit(f"--label expects KEY=VALUE, got '{item}'")
         labels[key] = value
 
-    raw = run_benchmark(args.binary, args.filter)
-    record = {
-        "host": raw.get("context", {}).get("host_name", ""),
-        "num_cpus": raw.get("context", {}).get("num_cpus", 0),
-        "date": raw.get("context", {}).get("date", ""),
-        "labels": labels,
-        "benchmarks": distill(raw),
-    }
+    record = {"host": "", "num_cpus": 0, "date": "", "labels": labels,
+              "benchmarks": []}
+    for binary in args.binaries:
+        raw = run_benchmark(binary, args.filter)
+        context = raw.get("context", {})
+        # Context comes from the first binary (same host for all of them).
+        if not record["host"]:
+            record["host"] = context.get("host_name", "")
+            record["num_cpus"] = context.get("num_cpus", 0)
+            record["date"] = context.get("date", "")
+        entries = distill(raw)
+        if len(args.binaries) > 1:
+            name = os.path.basename(binary)
+            for entry in entries:
+                entry["binary"] = name
+        record["benchmarks"].extend(entries)
     text = json.dumps(record, indent=2) + "\n"
     if args.out:
         with open(args.out, "w") as fh:

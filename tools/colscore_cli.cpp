@@ -50,6 +50,8 @@ namespace {
       "  --no-opt            skip the O(n^2) empirical OPT computation\n"
       "sweeps:\n"
       "  --grid AXES         cartesian sweep, e.g. \"n=256,512 x adversary=hijacker,sleeper\"\n"
+      "                      a reps=K axis replicates every cell K times with\n"
+      "                      distinct derived seeds and a rep CSV column\n"
       "  --threads T         suite worker threads (default: hardware; 1 = serial)\n"
       "  --raw-seeds         do not derive per-run seeds from the grid index\n"
       "output:\n"
@@ -72,9 +74,10 @@ void print_registry(const char* kind,
                 description.c_str());
 }
 
-void print_human(const SuiteRun& run) {
+void print_human(const SuiteRun& run, bool show_rep) {
   const Scenario& sc = run.scenario;
   const ExperimentOutcome& out = run.outcome;
+  if (show_rep) std::printf("[rep %zu] ", run.rep);
   std::printf(
       "%s/%s/%s n=%zu B=%zu D=%zu dishonest=%zu seed=%llu\n"
       "  max_err=%zu mean_err=%.2f max_probes=%llu err/opt=%.2f wall=%.2fs\n",
@@ -159,17 +162,24 @@ int run(int argc, char** argv) {
   // Single runs keep their literal seed; grids derive per-cell seeds.
   if (!grid_requested) options.derive_seeds = false;
 
+  // A `reps=K` grid axis is a suite-level replication count, not a scenario
+  // override; extract it here so the CSV grows a rep column exactly when
+  // replication is in play.
+  std::vector<GridAxis> axes = parse_grid(grid);
+  options.reps = take_reps_axis(axes);
+  const bool show_rep = options.reps > 1;
+
   std::unique_ptr<CsvWriter> writer;
   if (csv)
-    writer = std::make_unique<CsvWriter>(std::cout,
-                                         suite_csv_columns(/*include_wall=*/true));
+    writer = std::make_unique<CsvWriter>(
+        std::cout, suite_csv_columns(/*include_wall=*/true, show_rep));
   options.on_result = [&](const SuiteRun& run) {
-    if (csv) suite_csv_row(*writer, run, /*include_wall=*/true);
-    else print_human(run);
+    if (csv) suite_csv_row(*writer, run, /*include_wall=*/true, show_rep);
+    else print_human(run, show_rep);
   };
 
   SuiteRunner runner(options);
-  runner.run_grid(spec, grid);
+  runner.run(expand_grid(spec, axes));
   return 0;
 }
 
