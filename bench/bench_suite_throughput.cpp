@@ -12,7 +12,10 @@
 // Release (-O3 + LTO) for recorded numbers.
 #include <benchmark/benchmark.h>
 
+#include <sstream>
+
 #include "src/common/thread_pool.hpp"
+#include "src/sim/sink.hpp"
 #include "src/sim/suite.hpp"
 
 namespace colscore {
@@ -73,8 +76,41 @@ void BM_SuiteThroughputReps(benchmark::State& state) {
   ThreadPool::reset_global(0);
 }
 
+// The pinned grid streamed through a result sink (PR 4): rows render to
+// cells and serialize as JSONL into an in-memory buffer, so the number
+// isolates sink overhead on top of BM_SuiteThroughput — it must stay noise
+// against the runs themselves (row formatting is microseconds per run).
+void BM_SuiteThroughputJsonlSink(benchmark::State& state) {
+  ThreadPool::reset_global(1);
+  const std::vector<ScenarioSpec> specs = pinned_specs();
+  std::size_t runs = 0;
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    std::ostringstream out;
+    SinkConfig config;
+    config.stream = &out;
+    JsonlSink sink(config);
+    sink.begin(suite_csv_columns());
+    SuiteOptions options;
+    options.threads = 1;
+    options.on_result = [&](const SuiteRun& run) {
+      sink.write_row(suite_row_cells(run));
+    };
+    runs = SuiteRunner(options).run(specs).size();
+    sink.finish();
+    bytes = out.str().size();
+    benchmark::DoNotOptimize(bytes);
+  }
+  state.counters["runs"] = static_cast<double>(runs);
+  state.counters["row_bytes"] = static_cast<double>(bytes);
+  state.counters["runs_per_s"] = benchmark::Counter(
+      static_cast<double>(runs), benchmark::Counter::kIsIterationInvariantRate);
+  ThreadPool::reset_global(0);
+}
+
 BENCHMARK(BM_SuiteThroughput)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SuiteThroughputReps)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SuiteThroughputJsonlSink)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace colscore

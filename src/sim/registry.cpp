@@ -148,13 +148,34 @@ bool is_params_key(const std::string& key) {
   return false;
 }
 
-[[noreturn]] void unknown_key(const std::string& key) {
+/// One schema-declared key in scope for a resolve(): which registry kind and
+/// entry declared it, and its spec.
+struct SchemaKey {
+  const char* kind;
+  const std::string* entry;
+  const ParamSpec* spec;
+};
+
+[[noreturn]] void unknown_key(const std::string& key,
+                              const std::vector<SchemaKey>& schema_keys) {
   std::string msg = "unknown override key '" + key + "'; accepted: ";
   bool first = true;
   for (const std::string& k : scenario_override_keys()) {
     if (!first) msg += ", ";
     msg += k;
     first = false;
+  }
+  // Group the advertised schema keys by declaring entry, preserving their
+  // workload < adversary < algorithm order.
+  for (std::size_t i = 0; i < schema_keys.size(); ++i) {
+    const SchemaKey& sk = schema_keys[i];
+    if (i > 0 && *schema_keys[i - 1].entry == *sk.entry &&
+        schema_keys[i - 1].kind == sk.kind) {
+      msg += ", " + sk.spec->key;
+    } else {
+      msg += std::string("; ") + sk.kind + " '" + *sk.entry +
+             "' also accepts: " + sk.spec->key;
+    }
   }
   throw ScenarioError(msg);
 }
@@ -372,6 +393,51 @@ std::vector<std::string> scenario_override_keys() {
   return keys;
 }
 
+bool is_reserved_override_key(const std::string& key) {
+  for (const char* k : kCoreKeys)
+    if (key == k) return true;
+  return is_params_key(key);
+}
+
+void validate_reserved_override(const std::string& key,
+                                const std::string& value) {
+  Scenario scratch;
+  if (apply_core_override(scratch, key, value)) return;
+  Params params;
+  if (apply_params_override(params, key, value)) return;
+  throw ScenarioError("'" + key + "' is not a built-in override key");
+}
+
+// ---- param schemas ----------------------------------------------------------
+
+const char* param_type_name(ParamType type) {
+  switch (type) {
+    case ParamType::kSize:
+    case ParamType::kU64: return "an unsigned integer";
+    case ParamType::kDouble: return "a number";
+    case ParamType::kBool: return "a boolean (0/1/true/false)";
+    case ParamType::kString: return "a string";
+  }
+  return "?";
+}
+
+void validate_param_value(const ParamSpec& spec, const std::string& value) {
+  // Route the message through param_type_name so the documented error
+  // strings have a single source.
+  try {
+    switch (spec.type) {
+      case ParamType::kSize:
+      case ParamType::kU64: (void)parse_u64(spec.key, value); break;
+      case ParamType::kDouble: (void)parse_double(spec.key, value); break;
+      case ParamType::kBool: (void)parse_bool(spec.key, value); break;
+      case ParamType::kString: break;  // any text
+    }
+  } catch (const ScenarioError&) {
+    throw ScenarioError("override '" + spec.key + "=" + value +
+                        "': expected " + param_type_name(spec.type));
+  }
+}
+
 // ---- Scenario ---------------------------------------------------------------
 
 Scenario Scenario::resolve(const ScenarioSpec& spec) {
@@ -380,14 +446,33 @@ Scenario Scenario::resolve(const ScenarioSpec& spec) {
   sc.adversary = AdversaryRegistry::instance().canonical(spec.adversary);
   sc.algorithm = AlgorithmRegistry::instance().canonical(spec.algorithm);
 
+  const WorkloadEntry& workload = WorkloadRegistry::instance().at(sc.workload);
+  const AdversaryEntry& adversary =
+      AdversaryRegistry::instance().at(sc.adversary);
+  const AlgorithmEntry& algorithm =
+      AlgorithmRegistry::instance().at(sc.algorithm);
+
+  // Entry-declared override keys in scope for this scenario. First
+  // declaration wins on (unlikely) cross-entry collisions, in the same
+  // workload < adversary < algorithm order the defaults merge in.
+  std::vector<SchemaKey> schema_keys;
+  for (const ParamSpec& s : workload.schema)
+    schema_keys.push_back({"workload", &sc.workload, &s});
+  for (const ParamSpec& s : adversary.schema)
+    schema_keys.push_back({"adversary", &sc.adversary, &s});
+  for (const ParamSpec& s : algorithm.schema)
+    schema_keys.push_back({"algorithm", &sc.algorithm, &s});
+  auto find_schema_key = [&](const std::string& key) -> const SchemaKey* {
+    for (const SchemaKey& sk : schema_keys)
+      if (sk.spec->key == key) return &sk;
+    return nullptr;
+  };
+
   // Registered defaults first (workload, adversary, algorithm), user last.
   std::vector<std::pair<std::string, std::string>> merged;
-  for (const auto& kv : WorkloadRegistry::instance().at(sc.workload).defaults)
-    merged.push_back(kv);
-  for (const auto& kv : AdversaryRegistry::instance().at(sc.adversary).defaults)
-    merged.push_back(kv);
-  for (const auto& kv : AlgorithmRegistry::instance().at(sc.algorithm).defaults)
-    merged.push_back(kv);
+  for (const auto& kv : workload.defaults) merged.push_back(kv);
+  for (const auto& kv : adversary.defaults) merged.push_back(kv);
+  for (const auto& kv : algorithm.defaults) merged.push_back(kv);
   for (const auto& kv : spec.overrides) merged.push_back(kv);
 
   // Pass 1: core keys (so `budget` is known before paper_params expands).
@@ -398,7 +483,19 @@ Scenario Scenario::resolve(const ScenarioSpec& spec) {
       params_overrides.push_back(&kv);
       continue;
     }
-    unknown_key(kv.first);
+    if (const SchemaKey* sk = find_schema_key(kv.first)) {
+      // Typed validation with the documented attribution: the error names
+      // the declaring entry and the offending key=value.
+      try {
+        validate_param_value(*sk->spec, kv.second);
+      } catch (const ScenarioError& e) {
+        throw ScenarioError(std::string(sk->kind) + " '" + *sk->entry + "' " +
+                            e.what());
+      }
+      sc.extra[kv.first] = kv.second;
+      continue;
+    }
+    unknown_key(kv.first, schema_keys);
   }
   if (sc.paper_params) sc.params = Params::paper(sc.budget);
   // Pass 2: Params fields refine whichever preset is active.
@@ -434,7 +531,38 @@ ScenarioSpec Scenario::to_spec() const {
   for (const auto& f : kParamsSizeFields)
     if (params.*(f.member) != base.*(f.member))
       spec.overrides[f.key] = std::to_string(params.*(f.member));
+  for (const auto& [key, value] : extra) spec.overrides[key] = value;
   return spec;
+}
+
+// Extra-override getters: values were validated against the declaring entry's
+// schema at resolve() time, so these parses only fail for scenarios built by
+// hand with malformed extras — and then they fail loudly, not silently.
+std::size_t Scenario::extra_size(std::string_view key, std::size_t dflt) const {
+  const auto it = extra.find(key);
+  return it == extra.end() ? dflt : parse_size(it->first, it->second);
+}
+
+std::uint64_t Scenario::extra_u64(std::string_view key,
+                                  std::uint64_t dflt) const {
+  const auto it = extra.find(key);
+  return it == extra.end() ? dflt : parse_u64(it->first, it->second);
+}
+
+double Scenario::extra_double(std::string_view key, double dflt) const {
+  const auto it = extra.find(key);
+  return it == extra.end() ? dflt : parse_double(it->first, it->second);
+}
+
+bool Scenario::extra_bool(std::string_view key, bool dflt) const {
+  const auto it = extra.find(key);
+  return it == extra.end() ? dflt : parse_bool(it->first, it->second);
+}
+
+std::string Scenario::extra_string(std::string_view key,
+                                   std::string dflt) const {
+  const auto it = extra.find(key);
+  return it == extra.end() ? std::move(dflt) : it->second;
 }
 
 // ---- registries -------------------------------------------------------------

@@ -93,9 +93,23 @@ struct Scenario {
   bool paper_params = false;
   Params params;  // params.budget is synced to `budget` at run time
 
+  /// Entry-specific overrides (keys declared in the resolved entries' param
+  /// schemas), validated and stored verbatim at resolve time. Factories read
+  /// them through the typed getters below.
+  std::map<std::string, std::string, std::less<>> extra;
+
+  std::size_t extra_size(std::string_view key, std::size_t dflt) const;
+  std::uint64_t extra_u64(std::string_view key, std::uint64_t dflt) const;
+  double extra_double(std::string_view key, double dflt) const;
+  bool extra_bool(std::string_view key, bool dflt) const;
+  std::string extra_string(std::string_view key, std::string dflt) const;
+
   /// Validates the three names against the registries (aliases accepted,
   /// stored canonically) and applies, in order: workload defaults, adversary
-  /// defaults, algorithm defaults, then spec.overrides. Unknown names or
+  /// defaults, algorithm defaults, then spec.overrides. Override keys must be
+  /// built-in (scenario_override_keys) or declared in one of the resolved
+  /// entries' param schemas; schema-typed values are validated here, and the
+  /// error names the owning entry and the offending key. Unknown names or
   /// override keys throw ScenarioError listing the accepted ones.
   static Scenario resolve(const ScenarioSpec& spec);
 
@@ -109,6 +123,36 @@ struct Scenario {
 /// paper_params, plus the Params fields (sample_rate_c, vote_c, ...).
 std::vector<std::string> scenario_override_keys();
 
+/// True for the built-in override keys above (core scenario knobs + Params
+/// fields). Registry entries may not shadow these in their schemas.
+bool is_reserved_override_key(const std::string& key);
+
+/// Validates `value` for a reserved override key (same typed parsing that
+/// Scenario::resolve performs). Throws ScenarioError on mismatch.
+void validate_reserved_override(const std::string& key, const std::string& value);
+
+// ---- param schemas ----------------------------------------------------------
+
+/// Value type of a schema-declared override.
+enum class ParamType { kSize, kU64, kDouble, kBool, kString };
+
+/// One entry-specific override key, declared at registration time. Values are
+/// type-checked during Scenario::resolve and land in Scenario::extra; the
+/// factory reads them back through the typed Scenario::extra_* getters.
+struct ParamSpec {
+  std::string key;
+  ParamType type = ParamType::kString;
+  std::string description;
+};
+
+/// Human name for `type` ("an unsigned integer", "a number", ...) — used in
+/// the documented validation error strings.
+const char* param_type_name(ParamType type);
+
+/// Throws ScenarioError("override 'key=value': expected <type>") unless
+/// `value` parses as `spec.type`.
+void validate_param_value(const ParamSpec& spec, const std::string& value);
+
 // ---- registry entries -------------------------------------------------------
 
 struct WorkloadEntry {
@@ -116,7 +160,9 @@ struct WorkloadEntry {
   /// Builds the hidden world. `rng` is pre-seeded from the scenario seed.
   std::function<World(const Scenario&, Rng&)> make;
   /// Default spec overrides applied before the user's (user wins).
-  std::vector<std::pair<std::string, std::string>> defaults;
+  std::vector<std::pair<std::string, std::string>> defaults = {};
+  /// Entry-specific override keys (typed; validated at resolve time).
+  std::vector<ParamSpec> schema = {};
 };
 
 struct AdversaryEntry {
@@ -127,7 +173,8 @@ struct AdversaryEntry {
   std::function<std::unique_ptr<Behavior>(const Scenario&, const World&,
                                           PlayerId victim)>
       make;
-  std::vector<std::pair<std::string, std::string>> defaults;
+  std::vector<std::pair<std::string, std::string>> defaults = {};
+  std::vector<ParamSpec> schema = {};
 };
 
 /// Everything an algorithm needs to run one scenario.
@@ -149,7 +196,8 @@ struct AlgorithmOutput {
 struct AlgorithmEntry {
   std::string description;
   std::function<AlgorithmOutput(const AlgorithmContext&)> run;
-  std::vector<std::pair<std::string, std::string>> defaults;
+  std::vector<std::pair<std::string, std::string>> defaults = {};
+  std::vector<ParamSpec> schema = {};
 };
 
 // ---- registries -------------------------------------------------------------
@@ -165,10 +213,29 @@ class Registry {
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
-  /// Registers (or replaces) an entry. Names are lowercase identifiers.
+  /// Registers a new entry. Names are lowercase identifiers. Throws
+  /// ScenarioError if `name` (or an alias spelled `name`) is already
+  /// registered — accidental double registration silently dropping an entry
+  /// is the failure mode this guards against; use replace() to overwrite on
+  /// purpose. Entries with defaults/schemas are validated here so a bad
+  /// registration fails at startup, not mid-sweep.
   void add(std::string name, Entry entry) {
     validate_name(name);
+    validate_entry(name, entry);
     std::lock_guard lock(mutex_);
+    if (entries_.contains(name) || aliases_.contains(name))
+      throw ScenarioError(kind_ + " '" + name +
+                          "' is already registered (use replace() to "
+                          "overwrite an existing entry)");
+    entries_[std::move(name)] = std::move(entry);
+  }
+
+  /// Registers `entry` under `name`, overwriting any existing entry.
+  void replace(std::string name, Entry entry) {
+    validate_name(name);
+    validate_entry(name, entry);
+    std::lock_guard lock(mutex_);
+    aliases_.erase(name);
     entries_[std::move(name)] = std::move(entry);
   }
 
@@ -247,6 +314,47 @@ class Registry {
       if (c == '=' || c == ',' || c == ' ' || c == '\t' || c == '\n')
         throw ScenarioError(kind_ + " name '" + name +
                             "' must not contain '=', ',' or whitespace");
+  }
+
+  /// Registration-time checks for entries that declare schemas/defaults:
+  /// schema keys must not shadow built-in override keys or repeat, and every
+  /// default must be a built-in key or a schema key with a value that parses
+  /// as its declared type. Entry types without those members (e.g. sinks)
+  /// skip this.
+  void validate_entry(const std::string& name, const Entry& entry) const {
+    if constexpr (requires { entry.schema; entry.defaults; }) {
+      for (std::size_t i = 0; i < entry.schema.size(); ++i) {
+        const ParamSpec& spec = entry.schema[i];
+        if (spec.key.empty())
+          throw ScenarioError(kind_ + " '" + name +
+                              "': schema key must not be empty");
+        if (is_reserved_override_key(spec.key))
+          throw ScenarioError(kind_ + " '" + name + "': schema key '" +
+                              spec.key +
+                              "' shadows a built-in override key");
+        for (std::size_t j = 0; j < i; ++j)
+          if (entry.schema[j].key == spec.key)
+            throw ScenarioError(kind_ + " '" + name +
+                                "': schema declares key '" + spec.key +
+                                "' twice");
+      }
+      for (const auto& [key, value] : entry.defaults) {
+        const ParamSpec* spec = nullptr;
+        for (const ParamSpec& s : entry.schema)
+          if (s.key == key) { spec = &s; break; }
+        try {
+          if (spec != nullptr) validate_param_value(*spec, value);
+          else if (is_reserved_override_key(key))
+            validate_reserved_override(key, value);
+          else
+            throw ScenarioError("default override '" + key +
+                                "' is neither a built-in override key nor "
+                                "declared in the entry's schema");
+        } catch (const ScenarioError& e) {
+          throw ScenarioError(kind_ + " '" + name + "': " + e.what());
+        }
+      }
+    }
   }
 
   std::string kind_;

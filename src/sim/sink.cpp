@@ -1,0 +1,227 @@
+#include "src/sim/sink.hpp"
+
+#include <iostream>
+
+#include "src/common/assert.hpp"
+#include "src/common/json.hpp"
+#include "src/common/log.hpp"
+
+#if defined(COLSCORE_HAVE_SQLITE)
+#include <sqlite3.h>
+#endif
+
+namespace colscore {
+
+namespace {
+
+/// Opens `config` for a text sink: the explicit stream if set, stdout for an
+/// empty path, otherwise a truncated file (ScenarioError on failure).
+std::ostream* open_text_destination(const char* sink_name,
+                                    const SinkConfig& config,
+                                    std::ofstream& file) {
+  if (config.stream != nullptr) return config.stream;
+  if (config.path.empty()) return &std::cout;
+  file.open(config.path, std::ios::out | std::ios::trunc);
+  if (!file)
+    throw ScenarioError(std::string("sink '") + sink_name +
+                        "': cannot open '" + config.path + "' for writing");
+  return &file;
+}
+
+}  // namespace
+
+// ---- CsvSink ----------------------------------------------------------------
+
+CsvSink::CsvSink(const SinkConfig& config)
+    : out_(open_text_destination("csv", config, file_)) {}
+
+void CsvSink::begin(const std::vector<std::string>& columns) {
+  CS_ASSERT(!writer_.has_value(), "sink: begin() called twice");
+  writer_.emplace(*out_, columns);
+}
+
+void CsvSink::write_row(const std::vector<std::string>& cells) {
+  CS_ASSERT(writer_.has_value(), "sink: write_row() before begin()");
+  writer_->row(cells);
+  ++rows_;
+}
+
+void CsvSink::finish() { out_->flush(); }
+
+// ---- JsonlSink --------------------------------------------------------------
+
+JsonlSink::JsonlSink(const SinkConfig& config)
+    : out_(open_text_destination("jsonl", config, file_)) {}
+
+void JsonlSink::begin(const std::vector<std::string>& columns) {
+  CS_ASSERT(columns_.empty(), "sink: begin() called twice");
+  CS_ASSERT(!columns.empty(), "sink: empty column list");
+  columns_ = columns;
+}
+
+void JsonlSink::write_row(const std::vector<std::string>& cells) {
+  CS_ASSERT(cells.size() == columns_.size(), "sink: row width mismatch");
+  std::string line = "{";
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) line += ',';
+    line += json_quote(columns_[i]);
+    line += ':';
+    line += json_quote(cells[i]);
+  }
+  line += "}\n";
+  *out_ << line;
+  ++rows_;
+}
+
+void JsonlSink::finish() { out_->flush(); }
+
+// ---- SqliteSink -------------------------------------------------------------
+
+#if defined(COLSCORE_HAVE_SQLITE)
+
+namespace {
+
+[[noreturn]] void sqlite_fail(sqlite3* db, const std::string& what) {
+  std::string msg = "sink 'sqlite': " + what;
+  if (db != nullptr) msg += std::string(": ") + sqlite3_errmsg(db);
+  throw ScenarioError(msg);
+}
+
+/// Double-quote a column name for DDL ("" escapes embedded quotes).
+std::string quote_ident(const std::string& name) {
+  std::string out = "\"";
+  for (char c : name) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+SqliteSink::SqliteSink(const SinkConfig& config) {
+  if (config.stream != nullptr || config.path.empty())
+    throw ScenarioError(
+        "sink 'sqlite' writes a database file; pass an output path (--out "
+        "PATH or the suite file's \"output\" key)");
+  if (sqlite3_open(config.path.c_str(), &db_) != SQLITE_OK) {
+    const std::string detail =
+        db_ != nullptr ? sqlite3_errmsg(db_) : "out of memory";
+    sqlite3_close(db_);
+    db_ = nullptr;
+    throw ScenarioError("sink 'sqlite': cannot open '" + config.path +
+                        "': " + detail);
+  }
+}
+
+SqliteSink::~SqliteSink() {
+  try {
+    finish();
+  } catch (const ScenarioError& e) {
+    log_error("sqlite sink teardown: ", e.what());
+  }
+}
+
+void SqliteSink::exec(const std::string& sql) {
+  char* err = nullptr;
+  if (sqlite3_exec(db_, sql.c_str(), nullptr, nullptr, &err) != SQLITE_OK) {
+    const std::string detail = err != nullptr ? err : "unknown error";
+    sqlite3_free(err);
+    throw ScenarioError("sink 'sqlite': " + sql.substr(0, 32) + "...: " +
+                        detail);
+  }
+}
+
+void SqliteSink::begin(const std::vector<std::string>& columns) {
+  CS_ASSERT(insert_ == nullptr, "sink: begin() called twice");
+  CS_ASSERT(!columns.empty(), "sink: empty column list");
+  std::string create = "CREATE TABLE runs (";
+  std::string insert = "INSERT INTO runs VALUES (";
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i != 0) {
+      create += ", ";
+      insert += ",";
+    }
+    create += quote_ident(columns[i]) + " TEXT";
+    insert += "?";
+  }
+  create += ")";
+  insert += ")";
+  exec("DROP TABLE IF EXISTS runs");
+  exec(create);
+  // One transaction for the whole suite: per-row commits would fsync every
+  // run and dominate large sweeps.
+  exec("BEGIN TRANSACTION");
+  in_transaction_ = true;
+  if (sqlite3_prepare_v2(db_, insert.c_str(), -1, &insert_, nullptr) !=
+      SQLITE_OK)
+    sqlite_fail(db_, "cannot prepare row insert");
+}
+
+void SqliteSink::write_row(const std::vector<std::string>& cells) {
+  CS_ASSERT(insert_ != nullptr, "sink: write_row() before begin()");
+  CS_ASSERT(static_cast<int>(cells.size()) ==
+                sqlite3_bind_parameter_count(insert_),
+            "sink: row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i)
+    if (sqlite3_bind_text(insert_, static_cast<int>(i + 1), cells[i].data(),
+                          static_cast<int>(cells[i].size()),
+                          SQLITE_TRANSIENT) != SQLITE_OK)
+      sqlite_fail(db_, "cannot bind row cell");
+  if (sqlite3_step(insert_) != SQLITE_DONE)
+    sqlite_fail(db_, "cannot insert row");
+  sqlite3_reset(insert_);
+  ++rows_;
+}
+
+void SqliteSink::finish() {
+  if (db_ == nullptr) return;
+  if (insert_ != nullptr) {
+    sqlite3_finalize(insert_);
+    insert_ = nullptr;
+  }
+  if (in_transaction_) {
+    in_transaction_ = false;
+    exec("COMMIT");
+  }
+  sqlite3_close(db_);
+  db_ = nullptr;
+}
+
+#endif  // COLSCORE_HAVE_SQLITE
+
+// ---- sink registry ----------------------------------------------------------
+
+SinkRegistry& SinkRegistry::instance() {
+  static SinkRegistry& reg = *[] {
+    auto* r = new SinkRegistry();
+    r->add("csv", {"comma-separated rows with a header line (the historical "
+                   "output)",
+                   [](const SinkConfig& config) -> std::unique_ptr<ResultSink> {
+                     return std::make_unique<CsvSink>(config);
+                   }});
+    r->add("jsonl",
+           {"JSON Lines: one object per run, keys = column names",
+            [](const SinkConfig& config) -> std::unique_ptr<ResultSink> {
+              return std::make_unique<JsonlSink>(config);
+            }});
+#if defined(COLSCORE_HAVE_SQLITE)
+    r->add("sqlite",
+           {"sqlite database with a `runs` table (query sweeps without "
+            "parsing)",
+            [](const SinkConfig& config) -> std::unique_ptr<ResultSink> {
+              return std::make_unique<SqliteSink>(config);
+            }});
+#endif
+    return r;
+  }();
+  return reg;
+}
+
+std::unique_ptr<ResultSink> make_sink(std::string_view name,
+                                      const SinkConfig& config) {
+  return SinkRegistry::instance().at(name).make(config);
+}
+
+}  // namespace colscore

@@ -1,0 +1,142 @@
+// Pluggable result sinks: where suite rows land.
+//
+// SuiteRunner streams completed runs in run-index order; a ResultSink turns
+// that stream into a persistent artifact. Every sink consumes the same
+// column list (suite_csv_columns) and the same cell strings
+// (suite_row_cells), so the *row contents* of a fixed-seed suite are
+// identical across sinks by construction — CSV for eyeballs and spreadsheets,
+// JSONL for jq/pandas pipelines, sqlite for million-run sweeps you want to
+// query without parsing anything.
+//
+// Sinks are a registry like workloads/adversaries/algorithms: registering a
+// name and a factory is the whole integration (`colscore_cli --sink NAME`
+// and suite files' "sink" key look names up here). The sqlite sink links the
+// system sqlite3 library and is compiled out — absent from the registry, not
+// stubbed — when the toolchain lacks it (COLSCORE_HAVE_SQLITE).
+#pragma once
+
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "src/common/csv.hpp"
+#include "src/sim/registry.hpp"
+
+extern "C" {
+struct sqlite3;
+struct sqlite3_stmt;
+}
+
+namespace colscore {
+
+/// Streaming consumer of suite rows. Lifecycle: begin(columns) once, then
+/// write_row per run (in run-index order — SuiteRunner guarantees it), then
+/// finish() once. finish() is where buffered sinks flush/commit; destructors
+/// call it defensively, but call it explicitly to observe errors.
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+
+  virtual void begin(const std::vector<std::string>& columns) = 0;
+  virtual void write_row(const std::vector<std::string>& cells) = 0;
+  virtual void finish() {}
+
+  std::size_t rows_written() const noexcept { return rows_; }
+
+ protected:
+  std::size_t rows_ = 0;
+};
+
+/// How a sink factory gets its destination. `stream` (when set) wins over
+/// `path`; an empty path means stdout for text sinks and is an error for
+/// file-only sinks (sqlite).
+struct SinkConfig {
+  std::string path;
+  std::ostream* stream = nullptr;
+};
+
+// ---- built-in sinks ---------------------------------------------------------
+
+/// The historical CSV output (CsvWriter underneath): header row, then one
+/// comma-separated row per run.
+class CsvSink : public ResultSink {
+ public:
+  explicit CsvSink(const SinkConfig& config);
+
+  void begin(const std::vector<std::string>& columns) override;
+  void write_row(const std::vector<std::string>& cells) override;
+  void finish() override;
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_;
+  std::optional<CsvWriter> writer_;
+};
+
+/// JSON Lines: one object per run, keys = column names, values = the exact
+/// cell strings (kept as JSON strings so every sink's row contents are
+/// byte-comparable). No header line.
+class JsonlSink : public ResultSink {
+ public:
+  explicit JsonlSink(const SinkConfig& config);
+
+  void begin(const std::vector<std::string>& columns) override;
+  void write_row(const std::vector<std::string>& cells) override;
+  void finish() override;
+
+ private:
+  std::ofstream file_;
+  std::ostream* out_;
+  std::vector<std::string> columns_;
+};
+
+#if defined(COLSCORE_HAVE_SQLITE)
+/// Sqlite database with a single `runs` table whose columns mirror
+/// suite_csv_columns (all TEXT, same cell strings as the CSV). The whole
+/// suite inserts inside one transaction; finish() commits. An existing
+/// `runs` table is dropped first so a re-run reproduces the file.
+class SqliteSink : public ResultSink {
+ public:
+  explicit SqliteSink(const SinkConfig& config);
+  ~SqliteSink() override;
+
+  void begin(const std::vector<std::string>& columns) override;
+  void write_row(const std::vector<std::string>& cells) override;
+  void finish() override;
+
+ private:
+  void exec(const std::string& sql);
+
+  sqlite3* db_ = nullptr;
+  sqlite3_stmt* insert_ = nullptr;
+  bool in_transaction_ = false;
+};
+#endif  // COLSCORE_HAVE_SQLITE
+
+// ---- sink registry ----------------------------------------------------------
+
+struct SinkEntry {
+  std::string description;
+  std::function<std::unique_ptr<ResultSink>(const SinkConfig&)> make;
+};
+
+/// Name -> sink factory. Built-ins: "csv", "jsonl", and "sqlite" when
+/// compiled in. Downstream code registers new sinks exactly like workloads.
+class SinkRegistry : public Registry<SinkEntry> {
+ public:
+  static SinkRegistry& instance();
+
+ private:
+  SinkRegistry() : Registry("sink") {}
+};
+
+/// Factory shorthand: looks `name` up (ScenarioError with the registered
+/// alternatives if unknown) and builds the sink for `config`.
+std::unique_ptr<ResultSink> make_sink(std::string_view name,
+                                      const SinkConfig& config);
+
+}  // namespace colscore

@@ -164,8 +164,8 @@ std::vector<std::string> suite_csv_columns(bool include_wall, bool include_rep) 
   return columns;
 }
 
-void suite_csv_row(CsvWriter& writer, const SuiteRun& run, bool include_wall,
-                   bool include_rep) {
+std::vector<std::string> suite_row_cells(const SuiteRun& run, bool include_wall,
+                                         bool include_rep) {
   const Scenario& sc = run.scenario;
   const ExperimentOutcome& out = run.outcome;
   std::vector<std::string> cells{
@@ -199,7 +199,13 @@ void suite_csv_row(CsvWriter& writer, const SuiteRun& run, bool include_wall,
     os << out.wall_seconds;
     cells.push_back(os.str());
   }
-  writer.row(cells);  // CsvWriter asserts the width against its header
+  return cells;
+}
+
+void suite_csv_row(CsvWriter& writer, const SuiteRun& run, bool include_wall,
+                   bool include_rep) {
+  // CsvWriter asserts the width against its header.
+  writer.row(suite_row_cells(run, include_wall, include_rep));
 }
 
 }  // namespace colscore

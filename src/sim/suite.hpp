@@ -97,11 +97,20 @@ class SuiteRunner {
 
 // ---- CSV --------------------------------------------------------------------
 
-/// Column set shared by the CLI and tests. Wall time is excluded by default
-/// so suite CSVs are bit-for-bit reproducible; the `rep` column (after
-/// `seed`) is opt-in so single-run CSVs keep their historical shape.
+/// Column set shared by the CLI, result sinks, and tests. Wall time is
+/// excluded by default so suite outputs are bit-for-bit reproducible; the
+/// `rep` column (after `seed`) is opt-in so single-run CSVs keep their
+/// historical shape.
 std::vector<std::string> suite_csv_columns(bool include_wall = false,
                                            bool include_rep = false);
+
+/// The row cells for `run`, ordered like suite_csv_columns. This is the one
+/// place run fields become text — every sink (CSV, JSONL, sqlite) writes
+/// these exact strings, which is what makes sink outputs row-equivalent by
+/// construction.
+std::vector<std::string> suite_row_cells(const SuiteRun& run,
+                                         bool include_wall = false,
+                                         bool include_rep = false);
 
 /// Appends one row for `run` (column order matches suite_csv_columns).
 void suite_csv_row(CsvWriter& writer, const SuiteRun& run,

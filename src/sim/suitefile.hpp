@@ -1,0 +1,93 @@
+// Suite files: checked-in JSON descriptions of whole experiment sweeps.
+//
+// The ROADMAP's experiment space (workloads x adversaries x algorithms x n x
+// dishonest x reps) outgrows shell one-liners fast; a suite file makes the
+// sweep a reviewable artifact. One JSON object describes the base spec, any
+// number of grids over it, the replication count, and where the rows go:
+//
+//   {
+//     "name": "smoke",
+//     "description": "tiny CI sweep",
+//     "base": {"workload": "planted", "budget": 4, "dishonest": 4,
+//              "opt": false},
+//     "grids": ["n=48,64 x adversary=none,sleeper"],
+//     "reps": 2,
+//     "sink": "jsonl",
+//     "output": "smoke.jsonl"
+//   }
+//
+// `base` maps override keys (plus workload/adversary/algorithm) to strings,
+// numbers, or booleans — or is a single spec string ("workload=planted
+// n=64"). `grids` reuses the `--grid` axis syntax; several grids concatenate
+// in order and share one flat run-index space, so per-run seed derivation is
+// identical to running the concatenated spec list directly. Replication is
+// the top-level "reps" key (a reps= axis inside a grid is rejected —
+// replication is a suite property here, not a sweep axis). Optional knobs:
+// "threads" (0 = hardware), "wall" (include the wall_s column; off by
+// default so outputs are byte-reproducible), "derive_seeds" (default true;
+// false reruns literal seeds), "seed_salt".
+//
+// All validation errors are ScenarioErrors prefixed "suite file 'PATH':"
+// and name the offending key, so a typo in a checked-in suite fails the CI
+// smoke with an actionable message.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/sim/sink.hpp"
+#include "src/sim/suite.hpp"
+
+namespace colscore {
+
+struct SuiteFile {
+  std::string origin;  // path (or label) used in error messages
+  std::string name;
+  std::string description;
+  ScenarioSpec base;
+  /// Parsed grids, in file order. Empty = one run of `base` per rep.
+  std::vector<std::vector<GridAxis>> grids;
+  std::size_t reps = 1;
+  std::size_t threads = 0;
+  bool derive_seeds = true;
+  std::optional<std::uint64_t> seed_salt;
+  bool include_wall = false;
+  std::string sink = "csv";
+  std::string output;  // empty = stdout (file-only sinks reject at run time)
+
+  /// Concatenated grid expansions over `base` (file order).
+  std::vector<ScenarioSpec> expand() const;
+
+  /// SuiteOptions for this file (threads/reps/derive_seeds/seed_salt;
+  /// on_result left empty).
+  SuiteOptions options() const;
+};
+
+/// Parses a suite-file document. `origin` labels error messages (use the
+/// path). Throws ScenarioError on malformed JSON, unknown keys, or
+/// wrong-typed values.
+SuiteFile parse_suite_file(std::string_view json_text, std::string origin);
+
+/// Reads and parses `path`.
+SuiteFile load_suite_file(const std::string& path);
+
+/// Caller adjustments applied on top of the file (CLI flags win over the
+/// checked-in defaults). `stream` forces the sink destination (tests,
+/// stdout capture) and beats both output paths.
+struct SuiteFileOverrides {
+  std::optional<std::string> sink;
+  std::optional<std::string> output;
+  std::optional<std::size_t> threads;
+  std::ostream* stream = nullptr;
+};
+
+/// Expands the file, builds its sink, streams every run through it (begin /
+/// write_row per run in index order / finish), and returns the runs.
+std::vector<SuiteRun> run_suite_file(const SuiteFile& file,
+                                     const SuiteFileOverrides& overrides = {});
+
+}  // namespace colscore

@@ -11,6 +11,7 @@
 #include <sstream>
 
 #include "src/sim/suite.hpp"
+#include "test_util.hpp"
 
 namespace colscore {
 namespace {
@@ -35,12 +36,11 @@ constexpr char kHeader[] =
     "err_over_opt\n";
 
 TEST(DeterminismCsv, SleeperSeed3ByteIdentical) {
-  const std::string csv = run_to_csv(
-      "workload=planted n=128 budget=4 dishonest=8 adversary=sleeper seed=3 "
-      "opt=1");
-  EXPECT_EQ(csv, std::string(kHeader) +
-                     "planted,calculate_preferences,sleeper,128,4,16,8,3,8,"
-                     "3.94167,1310,1310,152489,32256,0.533333\n");
+  // Golden shared with the sink tests (tests/test_util.hpp): all sinks must
+  // emit these exact cells.
+  const std::string csv = run_to_csv(testutil::kGoldenScenario);
+  EXPECT_EQ(csv,
+            std::string(kHeader) + std::string(testutil::kGoldenRow) + "\n");
 }
 
 TEST(DeterminismCsv, RandomLiarSeed11ByteIdentical) {

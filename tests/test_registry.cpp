@@ -175,6 +175,152 @@ TEST(Scenario, CompatShimMatchesRegistryPath) {
   EXPECT_EQ(legacy.board_reports, direct.board_reports);
 }
 
+TEST(Registry, DuplicateRegistrationProducesTheDocumentedError) {
+  WorkloadRegistry::instance().add(
+      "dup_probe", {"duplicate-registration probe (test-only)",
+                    [](const Scenario& sc, Rng& rng) {
+                      return uniform_random(sc.n, sc.n, rng);
+                    }});
+  try {
+    WorkloadRegistry::instance().add(
+        "dup_probe", {"second registration",
+                      [](const Scenario& sc, Rng& rng) {
+                        return uniform_random(sc.n, sc.n, rng);
+                      }});
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("workload 'dup_probe' is already registered"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("replace()"), std::string::npos) << msg;
+  }
+  // replace() is the intentional spelling and must succeed.
+  WorkloadRegistry::instance().replace(
+      "dup_probe", {"replaced on purpose",
+                    [](const Scenario& sc, Rng& rng) {
+                      return uniform_random(sc.n, sc.n, rng);
+                    }});
+  EXPECT_EQ(WorkloadRegistry::instance().at("dup_probe").description,
+            "replaced on purpose");
+}
+
+TEST(Registry, SchemaKeysMayNotShadowBuiltinOverrides) {
+  try {
+    WorkloadRegistry::instance().add(
+        "shadow_probe", {"schema-shadow probe (test-only)",
+                         [](const Scenario& sc, Rng& rng) {
+                           return uniform_random(sc.n, sc.n, rng);
+                         },
+                         {},
+                         {{"n", ParamType::kSize, "shadows the core key"}}});
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what())
+                  .find("schema key 'n' shadows a built-in override key"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Registry, DefaultsMustBeBuiltinOrSchemaKeys) {
+  try {
+    WorkloadRegistry::instance().add(
+        "default_probe", {"bad-default probe (test-only)",
+                          [](const Scenario& sc, Rng& rng) {
+                            return uniform_random(sc.n, sc.n, rng);
+                          },
+                          {{"mystery_knob", "3"}}});
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("default override 'mystery_knob'"), std::string::npos)
+        << msg;
+  }
+  // A mistyped value for a schema-declared default also fails at add().
+  try {
+    WorkloadRegistry::instance().add(
+        "default_probe", {"bad-typed-default probe (test-only)",
+                          [](const Scenario& sc, Rng& rng) {
+                            return uniform_random(sc.n, sc.n, rng);
+                          },
+                          {{"knob", "lots"}},
+                          {{"knob", ParamType::kSize, "a knob"}}});
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'knob=lots'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("unsigned integer"), std::string::npos) << msg;
+  }
+}
+
+TEST(Registry, SchemaTypedOverridesValidateAndReachTheFactory) {
+  // The schema idiom end to end: declare typed keys at registration, set
+  // them in a spec, read them back through Scenario::extra_* in the factory.
+  WorkloadRegistry::instance().add(
+      "schema_probe",
+      {"schema-declared knobs probe (test-only)",
+       [](const Scenario& sc, Rng& rng) {
+         // The typed knob is observable through the planted diameter.
+         return planted_clusters(sc.n, sc.n, 2,
+                                 2 * sc.extra_size("blocks", 1), rng);
+       },
+       {{"blocks", "2"}},
+       {{"blocks", ParamType::kSize, "half the planted diameter"},
+        {"spread", ParamType::kDouble, "unused here"},
+        {"mirror", ParamType::kBool, "unused here"}}});
+
+  // Registered default applies; extras survive resolve and to_spec.
+  const Scenario with_default = Scenario::resolve(
+      ScenarioSpec::parse("workload=schema_probe n=32 opt=0"));
+  EXPECT_EQ(with_default.extra_size("blocks", 1), 2u);
+  const Scenario overridden = Scenario::resolve(ScenarioSpec::parse(
+      "workload=schema_probe n=32 opt=0 blocks=3 spread=0.5 mirror=true"));
+  EXPECT_EQ(overridden.extra_size("blocks", 1), 3u);
+  EXPECT_DOUBLE_EQ(overridden.extra_double("spread", 0.0), 0.5);
+  EXPECT_TRUE(overridden.extra_bool("mirror", false));
+  EXPECT_EQ(overridden.to_spec().overrides.at("blocks"), "3");
+  EXPECT_EQ(Scenario::resolve(overridden.to_spec()).extra_size("blocks", 0),
+            3u);
+
+  // The factory observes the typed value (blocks=3 -> diameter 6).
+  const ExperimentOutcome out = run_scenario(overridden);
+  EXPECT_EQ(out.planted_diameter, 6u);
+
+  // Wrong-typed value: the documented error names the entry and key=value.
+  try {
+    (void)Scenario::resolve(
+        ScenarioSpec::parse("workload=schema_probe blocks=abc"));
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("workload 'schema_probe' override 'blocks=abc'"),
+              std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("expected an unsigned integer"), std::string::npos)
+        << msg;
+  }
+
+  // Schema keys only exist for entries that declare them...
+  EXPECT_THROW((void)Scenario::resolve(
+                   ScenarioSpec::parse("workload=planted blocks=3")),
+               ScenarioError);
+  // ...and the unknown-key error advertises them for entries that do.
+  try {
+    (void)Scenario::resolve(
+        ScenarioSpec::parse("workload=schema_probe blks=3"));
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown override key 'blks'"), std::string::npos) << msg;
+    // Schema keys are advertised grouped per declaring entry.
+    EXPECT_NE(
+        msg.find("workload 'schema_probe' also accepts: blocks, spread, mirror"),
+        std::string::npos)
+        << msg;
+  }
+}
+
 TEST(Registry, NewAdversaryRunsEndToEndWithoutEnumChanges) {
   // The acceptance demo: registration alone makes a new attack runnable.
   AdversaryRegistry::instance().add(

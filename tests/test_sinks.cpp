@@ -1,0 +1,256 @@
+// Result-sink coverage: the sink registry, each built-in sink's format, and
+// the equivalence contract — a fixed-seed suite run lands the exact same row
+// contents in CSV, JSONL, and sqlite. The fixed-seed scenario and its golden
+// row are shared with test_determinism_csv, so a sink that perturbs (or
+// reorders, or re-formats) cells fails against a pinned byte string, not
+// against another sink's output.
+#include "src/sim/sink.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/json.hpp"
+#include "src/sim/suite.hpp"
+#include "test_util.hpp"
+
+#if defined(COLSCORE_HAVE_SQLITE)
+#include <sqlite3.h>
+#endif
+
+namespace colscore {
+namespace {
+
+// The test_determinism_csv fixed-seed golden, shared via test_util.hpp.
+using testutil::kGoldenRow;
+using testutil::kGoldenScenario;
+
+/// Runs the golden scenario (serial, literal seed) through `sink`.
+void run_golden_through(ResultSink& sink) {
+  SuiteOptions options;
+  options.threads = 1;
+  options.derive_seeds = false;
+  sink.begin(suite_csv_columns());
+  options.on_result = [&](const SuiteRun& run) {
+    sink.write_row(suite_row_cells(run));
+  };
+  SuiteRunner(options).run({ScenarioSpec::parse(kGoldenScenario)});
+  sink.finish();
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream in(line);
+  std::string cell;
+  while (std::getline(in, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+TEST(SinkRegistry, ListsBuiltins) {
+  EXPECT_TRUE(SinkRegistry::instance().contains("csv"));
+  EXPECT_TRUE(SinkRegistry::instance().contains("jsonl"));
+#if defined(COLSCORE_HAVE_SQLITE)
+  EXPECT_TRUE(SinkRegistry::instance().contains("sqlite"));
+#endif
+}
+
+TEST(SinkRegistry, UnknownSinkNamesTheAlternatives) {
+  try {
+    (void)make_sink("parquet", {});
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown sink 'parquet'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("csv"), std::string::npos) << msg;
+  }
+}
+
+TEST(CsvSinkTest, MatchesTheDeterminismGolden) {
+  std::ostringstream out;
+  SinkConfig config;
+  config.stream = &out;
+  CsvSink sink(config);
+  run_golden_through(sink);
+  EXPECT_EQ(sink.rows_written(), 1u);
+  std::istringstream lines(out.str());
+  std::string header, row;
+  ASSERT_TRUE(std::getline(lines, header));
+  ASSERT_TRUE(std::getline(lines, row));
+  EXPECT_EQ(row, kGoldenRow);
+}
+
+TEST(CsvSinkTest, RejectsUnwritablePaths) {
+  SinkConfig config;
+  config.path = "/nonexistent-dir/out.csv";
+  EXPECT_THROW(CsvSink{config}, ScenarioError);
+}
+
+TEST(JsonlSinkTest, RowContentsMatchTheCsvCells) {
+  std::ostringstream out;
+  SinkConfig config;
+  config.stream = &out;
+  JsonlSink sink(config);
+  run_golden_through(sink);
+  EXPECT_EQ(sink.rows_written(), 1u);
+
+  std::istringstream lines(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(lines, line));
+  EXPECT_FALSE(std::getline(lines, line = ""));  // exactly one row, no header
+
+  std::istringstream first(out.str());
+  ASSERT_TRUE(std::getline(first, line));
+  const JsonValue row = json_parse(line);
+  ASSERT_TRUE(row.is_object());
+  const std::vector<std::string> columns = suite_csv_columns();
+  const std::vector<std::string> golden = split_csv_line(kGoldenRow);
+  ASSERT_EQ(row.members.size(), columns.size());
+  ASSERT_EQ(golden.size(), columns.size());
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    // Keys in column order, values the exact CSV cell strings.
+    EXPECT_EQ(row.members[i].first, columns[i]);
+    EXPECT_EQ(row.members[i].second.text, golden[i]) << columns[i];
+  }
+}
+
+#if defined(COLSCORE_HAVE_SQLITE)
+
+std::vector<std::vector<std::string>> read_all_rows(const std::string& path) {
+  sqlite3* db = nullptr;
+  EXPECT_EQ(sqlite3_open(path.c_str(), &db), SQLITE_OK);
+  sqlite3_stmt* stmt = nullptr;
+  EXPECT_EQ(sqlite3_prepare_v2(db, "SELECT * FROM runs ORDER BY rowid", -1,
+                               &stmt, nullptr),
+            SQLITE_OK);
+  std::vector<std::vector<std::string>> rows;
+  while (sqlite3_step(stmt) == SQLITE_ROW) {
+    std::vector<std::string> cells;
+    for (int c = 0; c < sqlite3_column_count(stmt); ++c)
+      cells.emplace_back(
+          reinterpret_cast<const char*>(sqlite3_column_text(stmt, c)));
+    rows.push_back(std::move(cells));
+  }
+  sqlite3_finalize(stmt);
+  sqlite3_close(db);
+  return rows;
+}
+
+TEST(SqliteSinkTest, RowContentsMatchTheCsvCells) {
+  const std::string path = testing::TempDir() + "colscore_sink_golden.sqlite";
+  std::remove(path.c_str());
+  {
+    SinkConfig config;
+    config.path = path;
+    SqliteSink sink(config);
+    run_golden_through(sink);
+    EXPECT_EQ(sink.rows_written(), 1u);
+  }
+  const auto rows = read_all_rows(path);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0], split_csv_line(kGoldenRow));
+  std::remove(path.c_str());
+}
+
+TEST(SqliteSinkTest, RerunReplacesTheRunsTable) {
+  const std::string path = testing::TempDir() + "colscore_sink_rerun.sqlite";
+  std::remove(path.c_str());
+  for (int i = 0; i < 2; ++i) {
+    SinkConfig config;
+    config.path = path;
+    SqliteSink sink(config);
+    sink.begin({"a", "b"});
+    sink.write_row({"1", "2"});
+    sink.finish();
+  }
+  EXPECT_EQ(read_all_rows(path).size(), 1u);  // dropped and recreated, not appended
+  std::remove(path.c_str());
+}
+
+TEST(SqliteSinkTest, RequiresAnOutputPath) {
+  try {
+    (void)make_sink("sqlite", {});
+    FAIL() << "expected ScenarioError";
+  } catch (const ScenarioError& e) {
+    EXPECT_NE(std::string(e.what()).find("writes a database file"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+#endif  // COLSCORE_HAVE_SQLITE
+
+// ---- cross-sink equivalence (the satellite acceptance) ----------------------
+
+TEST(SinkEquivalence, FixedSeedSuiteIsIdenticalAcrossSinks) {
+  // A small multi-cell suite with reps: every sink must observe the exact
+  // same cell strings in the exact same order.
+  SuiteOptions options;
+  options.threads = 1;
+  options.reps = 2;
+  const std::vector<ScenarioSpec> specs = expand_grid(
+      ScenarioSpec::parse("n=48 budget=4 dishonest=4 opt=0"),
+      parse_grid("adversary=none,sleeper"));
+
+  auto run_collecting = [&](ResultSink& sink) {
+    SuiteOptions local = options;
+    sink.begin(suite_csv_columns(false, /*include_rep=*/true));
+    local.on_result = [&](const SuiteRun& run) {
+      sink.write_row(suite_row_cells(run, false, /*include_rep=*/true));
+    };
+    SuiteRunner(local).run(specs);
+    sink.finish();
+  };
+
+  std::ostringstream csv_out;
+  SinkConfig csv_config;
+  csv_config.stream = &csv_out;
+  CsvSink csv_sink(csv_config);
+  run_collecting(csv_sink);
+
+  std::ostringstream jsonl_out;
+  SinkConfig jsonl_config;
+  jsonl_config.stream = &jsonl_out;
+  JsonlSink jsonl_sink(jsonl_config);
+  run_collecting(jsonl_sink);
+
+  // Collect CSV data rows (skip the header).
+  std::vector<std::vector<std::string>> csv_rows;
+  {
+    std::istringstream lines(csv_out.str());
+    std::string line;
+    ASSERT_TRUE(std::getline(lines, line));  // header
+    while (std::getline(lines, line)) csv_rows.push_back(split_csv_line(line));
+  }
+  ASSERT_EQ(csv_rows.size(), 4u);  // 2 cells x 2 reps
+
+  // JSONL rows carry the same cells in the same order.
+  std::vector<std::vector<std::string>> jsonl_rows;
+  {
+    std::istringstream lines(jsonl_out.str());
+    std::string line;
+    while (std::getline(lines, line)) {
+      const JsonValue row = json_parse(line);
+      std::vector<std::string> cells;
+      for (const auto& [key, value] : row.members) cells.push_back(value.text);
+      jsonl_rows.push_back(std::move(cells));
+    }
+  }
+  EXPECT_EQ(jsonl_rows, csv_rows);
+
+#if defined(COLSCORE_HAVE_SQLITE)
+  const std::string path = testing::TempDir() + "colscore_sink_equiv.sqlite";
+  std::remove(path.c_str());
+  {
+    SinkConfig config;
+    config.path = path;
+    SqliteSink sqlite_sink(config);
+    run_collecting(sqlite_sink);
+  }
+  EXPECT_EQ(read_all_rows(path), csv_rows);
+  std::remove(path.c_str());
+#endif
+}
+
+}  // namespace
+}  // namespace colscore

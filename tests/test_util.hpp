@@ -9,6 +9,17 @@
 
 namespace colscore::testutil {
 
+// Fixed-seed golden pinned by test_determinism_csv and reused by the sink
+// tests: one scenario, one byte-exact suite row (wall column excluded).
+// Captured from the seed CLI before the BitMatrix rewrite; update both
+// expectations by updating this one constant.
+inline constexpr char kGoldenScenario[] =
+    "workload=planted n=128 budget=4 dishonest=8 adversary=sleeper seed=3 "
+    "opt=1";
+inline constexpr char kGoldenRow[] =
+    "planted,calculate_preferences,sleeper,128,4,16,8,3,8,3.94167,1310,1310,"
+    "152489,32256,0.533333";
+
 struct Harness {
   World world;
   Population population;

@@ -6,6 +6,7 @@ Usage:
     tools/bench_to_json.py BENCH_BINARY [BENCH_BINARY ...]
                            [--filter REGEX] [--out FILE]
                            [--label KEY=VALUE ...]
+                           [--compare BASELINE.json]
 
 The full google-benchmark JSON is verbose (context + per-iteration noise);
 this keeps one entry per benchmark (name, real/cpu time in seconds,
@@ -15,6 +16,13 @@ in the repo root record. With several binaries (e.g. bench_neighbor_graph
 and bench_suite_throughput) the entries merge into one trajectory record;
 each entry is tagged with the binary it came from so CI can track every
 tracked bench in a single artifact.
+
+--compare prints a markdown table of per-metric deltas against a previously
+recorded trajectory file (e.g. BENCH_pr3.json): real time plus every shared
+user counter, matched by benchmark name. It is informational only — shared
+CI runners are far too noisy to gate on — which is why CI pipes it into the
+job summary under continue-on-error and the exit code stays 0 even when
+every metric regressed.
 """
 
 import argparse
@@ -64,6 +72,52 @@ def distill(raw: dict) -> list[dict]:
     return out
 
 
+def format_delta(baseline: float, current: float) -> str:
+    if baseline == 0:
+        return "n/a"
+    pct = (current - baseline) / baseline * 100.0
+    return f"{pct:+.1f}%"
+
+
+def compare_records(baseline: dict, current: dict) -> str:
+    """Markdown per-metric delta table between two trajectory records.
+
+    Benchmarks match by name (binary tags can differ between a merged CI
+    record and a single-binary baseline). real_time_s always reports;
+    counters report when both records carry them.
+    """
+    by_name = {b["name"]: b for b in baseline.get("benchmarks", [])}
+    lines = [
+        f"### Perf trajectory vs PR {baseline.get('labels', {}).get('pr', '?')}"
+        f" (informational, not a gate)",
+        "",
+        "| benchmark | metric | baseline | current | delta |",
+        "|---|---|---:|---:|---:|",
+    ]
+    matched = False
+    for bench in current.get("benchmarks", []):
+        base = by_name.get(bench["name"])
+        if base is None:
+            lines.append(f"| {bench['name']} | — | n/a (new) | — | — |")
+            continue
+        matched = True
+        rows = [("real_time_s", base["real_time_s"], bench["real_time_s"])]
+        base_counters = base.get("counters", {})
+        for key, value in bench.get("counters", {}).items():
+            if key in base_counters:
+                rows.append((key, base_counters[key], value))
+        for metric, base_value, value in rows:
+            lines.append(
+                f"| {bench['name']} | {metric} | {base_value:.4g} | "
+                f"{value:.4g} | {format_delta(base_value, value)} |")
+    if not matched:
+        lines.append("| (no shared benchmarks) | — | — | — | — |")
+    lines.append("")
+    lines.append(f"_baseline record: host={baseline.get('host', '?')}, "
+                 f"date={baseline.get('date', '?')}_")
+    return "\n".join(lines) + "\n"
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("binaries", nargs="+", metavar="binary",
@@ -72,6 +126,9 @@ def main() -> None:
     parser.add_argument("--out", default=None, help="output path (default stdout)")
     parser.add_argument("--label", action="append", default=[],
                         metavar="KEY=VALUE", help="freeform labels for the record")
+    parser.add_argument("--compare", default=None, metavar="BASELINE.json",
+                        help="print per-metric deltas against a recorded "
+                             "trajectory file (informational; exit code stays 0)")
     args = parser.parse_args()
 
     labels = {}
@@ -103,6 +160,11 @@ def main() -> None:
             fh.write(text)
     else:
         sys.stdout.write(text)
+
+    if args.compare:
+        with open(args.compare) as fh:
+            baseline = json.load(fh)
+        sys.stdout.write(compare_records(baseline, record))
 
 
 if __name__ == "__main__":

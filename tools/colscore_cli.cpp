@@ -10,19 +10,27 @@
 //   colscore_cli --adversary hijacker --dishonest 10 --algorithm robust
 //   colscore_cli --scenario "workload=planted n=512 dishonest=20"
 //   colscore_cli --grid "n=256,512 x adversary=hijacker,sleeper" --csv
+//   colscore_cli --grid "n=256,512 x reps=5" --sink sqlite --out sweep.sqlite
+//   colscore_cli --suite examples/suites/smoke.json
 //
-// With --csv the tool prints one machine-readable row per run (streamed in
-// grid order as runs complete); otherwise a human-readable report.
+// Machine-readable output goes through a registered result sink (--sink
+// csv|jsonl|sqlite, --list-sinks; --csv is shorthand for --sink csv --wall),
+// streamed in grid order as runs complete; otherwise a human-readable
+// report. --suite runs a checked-in JSON suite file (base spec + grids +
+// reps + sink), with --sink/--out/--threads overriding the file's choices.
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/common/csv.hpp"
 #include "src/sim/registry.hpp"
+#include "src/sim/sink.hpp"
 #include "src/sim/suite.hpp"
+#include "src/sim/suitefile.hpp"
 
 namespace colscore {
 namespace {
@@ -51,14 +59,20 @@ namespace {
       "sweeps:\n"
       "  --grid AXES         cartesian sweep, e.g. \"n=256,512 x adversary=hijacker,sleeper\"\n"
       "                      a reps=K axis replicates every cell K times with\n"
-      "                      distinct derived seeds and a rep CSV column\n"
+      "                      distinct derived seeds and a rep column\n"
+      "  --suite FILE        run a JSON suite file (base + grids + reps + sink);\n"
+      "                      --sink/--out/--threads override the file's choices\n"
       "  --threads T         suite worker threads (default: hardware; 1 = serial)\n"
       "  --raw-seeds         do not derive per-run seeds from the grid index\n"
       "output:\n"
-      "  --csv               machine-readable output (one row per run)\n"
+      "  --sink NAME         result sink for machine-readable rows (see --list-sinks)\n"
+      "  --out PATH          sink destination (default: stdout; sqlite requires a path)\n"
+      "  --wall              include the wall_s column (off by default: byte-reproducible)\n"
+      "  --csv               shorthand for --sink csv --wall (the historical output)\n"
       "  --list-workloads    print registered workloads and exit\n"
       "  --list-adversaries  print registered adversaries and exit\n"
-      "  --list-algorithms   print registered algorithms and exit\n",
+      "  --list-algorithms   print registered algorithms and exit\n"
+      "  --list-sinks        print registered result sinks and exit\n",
       argv0);
   std::exit(2);
 }
@@ -92,8 +106,15 @@ int run(int argc, char** argv) {
   ScenarioSpec spec;
   SuiteOptions options;
   std::string grid;
+  std::string suite_path;
+  std::optional<std::string> sink_name;
+  std::optional<std::string> out_path;
+  std::optional<std::size_t> threads_flag;
   bool csv = false;
+  bool wall = false;
+  bool raw_seeds = false;
   bool grid_requested = false;
+  bool spec_touched = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -101,12 +122,16 @@ int run(int argc, char** argv) {
       if (i + 1 >= argc) usage(argv[0]);
       return argv[++i];
     };
-    auto set_override = [&](const char* key) { spec.set(key, next()); };
+    auto set_override = [&](const char* key) {
+      spec_touched = true;
+      spec.set(key, next());
+    };
 
-    if (arg == "--workload") spec.workload = next();
-    else if (arg == "--algorithm") spec.algorithm = next();
-    else if (arg == "--adversary") spec.adversary = next();
+    if (arg == "--workload") { spec_touched = true; spec.workload = next(); }
+    else if (arg == "--algorithm") { spec_touched = true; spec.algorithm = next(); }
+    else if (arg == "--adversary") { spec_touched = true; spec.adversary = next(); }
     else if (arg == "--scenario") {
+      spec_touched = true;
       // Apply token by token (not via ScenarioSpec::parse) so names the
       // string does not mention keep whatever earlier flags set them to.
       std::istringstream tokens{next()};
@@ -119,6 +144,7 @@ int run(int argc, char** argv) {
         spec.set(token.substr(0, eq), token.substr(eq + 1));
       }
     } else if (arg == "--set") {
+      spec_touched = true;
       const std::string kv = next();
       const std::size_t eq = kv.find('=');
       if (eq == std::string::npos || eq == 0 || eq + 1 >= kv.size()) usage(argv[0]);
@@ -130,21 +156,28 @@ int run(int argc, char** argv) {
     else if (arg == "--seed") set_override("seed");
     else if (arg == "--dishonest") set_override("dishonest");
     else if (arg == "--reps") set_override("reps");
-    else if (arg == "--paper-params") spec.set("paper_params", "1");
-    else if (arg == "--no-opt") spec.set("opt", "0");
+    else if (arg == "--paper-params") { spec_touched = true; spec.set("paper_params", "1"); }
+    else if (arg == "--no-opt") { spec_touched = true; spec.set("opt", "0"); }
     else if (arg == "--grid") { grid = next(); grid_requested = true; }
+    else if (arg == "--suite") suite_path = next();
     else if (arg == "--threads") {
       const std::string value = next();
       std::size_t used = 0;
+      std::size_t threads = 0;
       try {
-        options.threads = std::stoull(value, &used);
+        threads = std::stoull(value, &used);
       } catch (...) {
         used = 0;
       }
       if (used != value.size()) usage(argv[0]);
+      options.threads = threads;
+      threads_flag = threads;
     }
-    else if (arg == "--raw-seeds") options.derive_seeds = false;
+    else if (arg == "--raw-seeds") { options.derive_seeds = false; raw_seeds = true; }
     else if (arg == "--csv") csv = true;
+    else if (arg == "--wall") wall = true;
+    else if (arg == "--sink") sink_name = next();
+    else if (arg == "--out") out_path = next();
     else if (arg == "--list-workloads") {
       print_registry("workloads", WorkloadRegistry::instance().descriptions());
       return 0;
@@ -154,32 +187,73 @@ int run(int argc, char** argv) {
     } else if (arg == "--list-algorithms") {
       print_registry("algorithms", AlgorithmRegistry::instance().descriptions());
       return 0;
+    } else if (arg == "--list-sinks") {
+      print_registry("sinks", SinkRegistry::instance().descriptions());
+      return 0;
     } else {
       usage(argv[0]);
     }
+  }
+
+  // ---- suite-file mode -------------------------------------------------------
+  if (!suite_path.empty()) {
+    // A suite file is the reviewable artifact; flags silently fighting its
+    // contents would defeat the point, so anything that defines the
+    // experiment or the row shape is rejected rather than merged or
+    // dropped. Sink/output/threads are runner choices, not experiment
+    // definition, and stay overridable.
+    if (spec_touched || grid_requested)
+      throw ScenarioError(
+          "--suite cannot be combined with scenario or grid flags; edit the "
+          "suite file (or spell the sweep with --grid)");
+    if (csv || wall || raw_seeds)
+      throw ScenarioError(
+          "--suite cannot be combined with --csv/--wall/--raw-seeds; set the "
+          "suite file's \"sink\", \"wall\", or \"derive_seeds\" keys (or "
+          "override the sink alone with --sink)");
+    SuiteFileOverrides overrides;
+    overrides.sink = sink_name;
+    overrides.output = out_path;
+    overrides.threads = threads_flag;
+    run_suite_file(load_suite_file(suite_path), overrides);
+    return 0;
   }
 
   // Single runs keep their literal seed; grids derive per-cell seeds.
   if (!grid_requested) options.derive_seeds = false;
 
   // A `reps=K` grid axis is a suite-level replication count, not a scenario
-  // override; extract it here so the CSV grows a rep column exactly when
+  // override; extract it here so the output grows a rep column exactly when
   // replication is in play.
   std::vector<GridAxis> axes = parse_grid(grid);
   options.reps = take_reps_axis(axes);
   const bool show_rep = options.reps > 1;
 
-  std::unique_ptr<CsvWriter> writer;
-  if (csv)
-    writer = std::make_unique<CsvWriter>(
-        std::cout, suite_csv_columns(/*include_wall=*/true, show_rep));
+  // --csv is the historical shorthand: CSV rows with the wall column. Any
+  // other machine output goes through a registered sink; --out alone implies
+  // the csv sink.
+  if (csv) {
+    if (!sink_name.has_value()) sink_name = "csv";
+    wall = true;
+  } else if (out_path.has_value() && !sink_name.has_value()) {
+    sink_name = "csv";
+  }
+
+  std::unique_ptr<ResultSink> sink;
+  if (sink_name.has_value()) {
+    SinkConfig config;
+    if (out_path.has_value()) config.path = *out_path;
+    sink = make_sink(*sink_name, config);
+    sink->begin(suite_csv_columns(wall, show_rep));
+  }
   options.on_result = [&](const SuiteRun& run) {
-    if (csv) suite_csv_row(*writer, run, /*include_wall=*/true, show_rep);
+    if (sink) sink->write_row(suite_row_cells(run, wall, show_rep));
     else print_human(run, show_rep);
   };
 
   SuiteRunner runner(options);
   runner.run(expand_grid(spec, axes));
+  if (sink) sink->finish();
   return 0;
 }
 
