@@ -76,13 +76,20 @@ void BM_SuiteThroughputReps(benchmark::State& state) {
   ThreadPool::reset_global(0);
 }
 
-// The pinned grid streamed through a result sink (PR 4): rows render to
-// cells and serialize as JSONL into an in-memory buffer, so the number
-// isolates sink overhead on top of BM_SuiteThroughput — it must stay noise
-// against the runs themselves (row formatting is microseconds per run).
+// The pinned grid streamed through a result sink (PR 4; typed schema since
+// PR 5): runs become RunRecords and serialize as JSONL into an in-memory
+// buffer, so the number isolates sink overhead on top of BM_SuiteThroughput
+// — it must stay noise against the runs themselves (row formatting is
+// microseconds per run).
 void BM_SuiteThroughputJsonlSink(benchmark::State& state) {
   ThreadPool::reset_global(1);
   const std::vector<ScenarioSpec> specs = pinned_specs();
+  const MetricSchema schema = [&] {
+    std::vector<Scenario> resolved;
+    for (const ScenarioSpec& s : specs) resolved.push_back(Scenario::resolve(s));
+    return suite_metric_schema(resolved);
+  }();
+  const std::vector<std::string> columns = default_columns();
   std::size_t runs = 0;
   std::size_t bytes = 0;
   for (auto _ : state) {
@@ -90,14 +97,14 @@ void BM_SuiteThroughputJsonlSink(benchmark::State& state) {
     SinkConfig config;
     config.stream = &out;
     JsonlSink sink(config);
-    sink.begin(suite_csv_columns());
+    RecordStream stream(sink, schema, columns);
     SuiteOptions options;
     options.threads = 1;
     options.on_result = [&](const SuiteRun& run) {
-      sink.write_row(suite_row_cells(run));
+      stream.write(make_run_record(run, schema));
     };
     runs = SuiteRunner(options).run(specs).size();
-    sink.finish();
+    stream.finish();
     bytes = out.str().size();
     benchmark::DoNotOptimize(bytes);
   }

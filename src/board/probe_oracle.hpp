@@ -65,10 +65,11 @@ class ProbeOracle {
   }
 
   /// Batch probe: fills out[i] = v(p)_objects[i], charging all
-  /// objects.size() probes to p in a single counter round-trip. Semantically
-  /// identical to probing each object in order, but the per-player atomic is
-  /// touched once instead of once per object — the difference on hot voting
-  /// loops where many threads charge the same shared counter cache lines.
+  /// objects.size() probes to p in a single counter round-trip. Deprecated
+  /// uint8-out compat form from PR 1 — the word-level BitRow forms below
+  /// (probe_row / probe_gather) carry the same charge semantics without the
+  /// per-bit virtual reads or the byte-wide output.
+  [[deprecated("use probe_row / probe_gather (BitRow probe pipeline)")]]
   void probe_many(PlayerId p, std::span<const ObjectId> objects,
                   std::span<std::uint8_t> out);
 

@@ -307,7 +307,8 @@ void register_builtin_algorithms(AlgorithmRegistry& reg) {
                  ctx.oracle, ctx.board, ctx.population, rp,
                  mix_keys(ctx.scenario.seed, 0x0b57ULL),
                  mix_keys(ctx.scenario.seed, 0x10ca1ULL));
-             return AlgorithmOutput{std::move(rr.result), rr.honest_leader_reps};
+             return AlgorithmOutput{std::move(rr.result), rr.honest_leader_reps,
+                                    /*reports_leader_reps=*/true};
            },
            {}});
   // err/opt is identically 0 for probe_all, so its registered default skips
@@ -646,7 +647,9 @@ ExperimentOutcome run_scenario(const Scenario& scenario) {
     outcome.honest_max_probes =
         std::max(outcome.honest_max_probes, result.probes_by_player[p]);
   outcome.iterations = result.iterations;
+  outcome.easy_case = result.easy_case;
   outcome.honest_leader_reps = algo.honest_leader_reps;
+  outcome.has_leader_reps = algo.reports_leader_reps;
   outcome.board_reports = board.report_count();
   outcome.board_vectors = board.vector_count();
 
@@ -657,6 +660,37 @@ ExperimentOutcome run_scenario(const Scenario& scenario) {
     const auto errors = hamming_errors(world.matrix, result.outputs, honest);
     outcome.approx_ratio = worst_approx_ratio(errors, honest, outcome.opt);
   }
+
+  // Entry-published metrics: each resolved entry may declare result metrics
+  // and publish values here, while the run's world/board/oracle are still
+  // alive. They ride on the outcome into the schema layer (make_run_record).
+  const MetricContext mctx{scenario, world, pop, oracle, board, result, outcome};
+  std::vector<std::pair<std::string, std::string>> emitted_by;  // key -> label
+  const auto emit_entry = [&](const char* kind, const std::string& name,
+                              const auto& entry) {
+    if (!entry.emit_metrics) return;
+    const std::string label = std::string(kind) + " '" + name + "'";
+    MetricEmitter emitter(entry.metrics, label);
+    entry.emit_metrics(mctx, emitter);
+    for (auto& kv : emitter.take()) {
+      // Two entries may *declare* the same key (same type), but one run
+      // publishing it twice is ambiguous — fail loudly instead of letting
+      // the later emitter silently overwrite the earlier one.
+      for (const auto& [key, owner] : emitted_by)
+        if (key == kv.first)
+          throw ScenarioError(owner + " and " + label +
+                              " both emitted metric '" + kv.first + "'");
+      emitted_by.emplace_back(kv.first, label);
+      outcome.entry_metrics.push_back(std::move(kv));
+    }
+  };
+  emit_entry("workload", scenario.workload,
+             WorkloadRegistry::instance().at(scenario.workload));
+  emit_entry("adversary", scenario.adversary,
+             AdversaryRegistry::instance().at(scenario.adversary));
+  emit_entry("algorithm", scenario.algorithm,
+             AlgorithmRegistry::instance().at(scenario.algorithm));
+
   outcome.wall_seconds = timer.seconds();
   return outcome;
 }

@@ -36,15 +36,9 @@
 #include "src/metrics/optimal.hpp"
 #include "src/model/generators.hpp"
 #include "src/model/population.hpp"
+#include "src/sim/record.hpp"  // MetricSpec/MetricValue/MetricEmitter + ScenarioError
 
 namespace colscore {
-
-/// Thrown for unknown names, malformed specs, and bad override values. The
-/// message always names the offending token and lists the accepted ones.
-class ScenarioError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 struct Scenario;
 
@@ -155,6 +149,28 @@ void validate_param_value(const ParamSpec& spec, const std::string& value);
 
 // ---- registry entries -------------------------------------------------------
 
+struct ExperimentOutcome;
+
+/// Everything an entry's metric emit hook can read when publishing values
+/// after a run. Valid only for the duration of the hook call; `outcome` is
+/// fully built except for `entry_metrics` (being collected) and
+/// `wall_seconds` (stamped last).
+struct MetricContext {
+  const Scenario& scenario;
+  const World& world;
+  const Population& population;
+  const ProbeOracle& oracle;
+  const BulletinBoard& board;
+  const ProtocolResult& result;
+  const ExperimentOutcome& outcome;
+};
+
+/// Called once per completed run; values land in
+/// ExperimentOutcome::entry_metrics and flow to every sink through the
+/// metric schema (src/sim/record.hpp). Keys must be declared in the entry's
+/// `metrics` list.
+using MetricEmitFn = std::function<void(const MetricContext&, MetricEmitter&)>;
+
 struct WorkloadEntry {
   std::string description;
   /// Builds the hidden world. `rng` is pre-seeded from the scenario seed.
@@ -163,6 +179,11 @@ struct WorkloadEntry {
   std::vector<std::pair<std::string, std::string>> defaults = {};
   /// Entry-specific override keys (typed; validated at resolve time).
   std::vector<ParamSpec> schema = {};
+  /// Entry-specific result metrics (declared here; reserved keys — the
+  /// built-in/diagnostic columns — are rejected at registration).
+  std::vector<MetricSpec> metrics = {};
+  /// Publishes the declared metrics after a run; null = nothing to publish.
+  MetricEmitFn emit_metrics = nullptr;
 };
 
 struct AdversaryEntry {
@@ -175,6 +196,8 @@ struct AdversaryEntry {
       make;
   std::vector<std::pair<std::string, std::string>> defaults = {};
   std::vector<ParamSpec> schema = {};
+  std::vector<MetricSpec> metrics = {};
+  MetricEmitFn emit_metrics = nullptr;
 };
 
 /// Everything an algorithm needs to run one scenario.
@@ -191,6 +214,10 @@ struct AlgorithmContext {
 struct AlgorithmOutput {
   ProtocolResult result;
   std::size_t honest_leader_reps = 0;  // robust-style algorithms only
+  /// True when the algorithm actually elects leaders — lets the
+  /// honest_leader_reps column stay absent (not a misleading 0) for
+  /// algorithms the statistic does not apply to.
+  bool reports_leader_reps = false;
 };
 
 struct AlgorithmEntry {
@@ -198,6 +225,8 @@ struct AlgorithmEntry {
   std::function<AlgorithmOutput(const AlgorithmContext&)> run;
   std::vector<std::pair<std::string, std::string>> defaults = {};
   std::vector<ParamSpec> schema = {};
+  std::vector<MetricSpec> metrics = {};
+  MetricEmitFn emit_metrics = nullptr;
 };
 
 // ---- registries -------------------------------------------------------------
@@ -319,9 +348,30 @@ class Registry {
   /// Registration-time checks for entries that declare schemas/defaults:
   /// schema keys must not shadow built-in override keys or repeat, and every
   /// default must be a built-in key or a schema key with a value that parses
-  /// as its declared type. Entry types without those members (e.g. sinks)
-  /// skip this.
+  /// as its declared type. Metric declarations get the analogous checks
+  /// against the built-in columns. Entry types without those members (e.g.
+  /// sinks) skip this.
   void validate_entry(const std::string& name, const Entry& entry) const {
+    if constexpr (requires { entry.metrics; }) {
+      for (std::size_t i = 0; i < entry.metrics.size(); ++i) {
+        const MetricSpec& spec = entry.metrics[i];
+        if (spec.key.empty())
+          throw ScenarioError(kind_ + " '" + name +
+                              "': metric key must not be empty");
+        if (is_reserved_metric_key(spec.key))
+          throw ScenarioError(kind_ + " '" + name + "': metric key '" +
+                              spec.key +
+                              "' shadows a built-in result column");
+        for (std::size_t j = 0; j < i; ++j)
+          if (entry.metrics[j].key == spec.key)
+            throw ScenarioError(kind_ + " '" + name +
+                                "': metric '" + spec.key +
+                                "' is declared twice");
+      }
+      if (entry.emit_metrics && entry.metrics.empty())
+        throw ScenarioError(kind_ + " '" + name +
+                            "': emit_metrics set but no metrics declared");
+    }
     if constexpr (requires { entry.schema; entry.defaults; }) {
       for (std::size_t i = 0; i < entry.schema.size(); ++i) {
         const ParamSpec& spec = entry.schema[i];
@@ -404,8 +454,13 @@ struct ExperimentOutcome {
   std::uint64_t board_vectors = 0;
   std::size_t planted_diameter = 0;
   std::size_t honest_leader_reps = 0;  // robust runs only
+  bool has_leader_reps = false;        // honest_leader_reps applies
+  bool easy_case = false;              // direct-probing path ran
   double wall_seconds = 0.0;
   std::vector<IterationInfo> iterations;
+  /// Values published by the run's entries' emit hooks (declared keys only);
+  /// the schema layer (make_run_record) routes them into every sink.
+  std::vector<std::pair<std::string, MetricValue>> entry_metrics;
 };
 
 /// Builds the world for `scenario` (deterministic in scenario.seed).

@@ -1,5 +1,6 @@
 #include "src/sim/sink.hpp"
 
+#include <cmath>
 #include <iostream>
 
 #include "src/common/assert.hpp"
@@ -30,19 +31,59 @@ std::ostream* open_text_destination(const char* sink_name,
 
 }  // namespace
 
+// ---- RecordStream -----------------------------------------------------------
+
+RecordStream::RecordStream(ResultSink& sink, const MetricSchema& schema,
+                           std::span<const std::string> columns,
+                           Options options)
+    : sink_(sink),
+      summary_(options.summary),
+      reps_(std::max<std::size_t>(1, options.reps)) {
+  // MetricSchema::select is the one authoritative validation/projection
+  // (unknown-column and selected-twice errors live there); the index map
+  // then reuses the already-validated keys.
+  selected_ = schema.select(columns);
+  map_.reserve(columns.size());
+  for (const std::string& key : columns) map_.push_back(schema.index_of(key));
+  out_ = summarized_schema(selected_, summary_);
+  sink_.begin(out_);
+}
+
+void RecordStream::write(const RunRecord& record) {
+  RunRecord row(&selected_);
+  for (std::size_t j = 0; j < map_.size(); ++j)
+    row.set_value(j, record.value(map_[j]));
+  if (summary_ == SummaryStat::kNone) {
+    sink_.write(row);
+    return;
+  }
+  cell_.push_back(std::move(row));
+  if (cell_.size() == reps_) {
+    sink_.write(summarize_records(out_, cell_, summary_));
+    cell_.clear();
+  }
+}
+
+void RecordStream::finish() {
+  CS_ASSERT(cell_.empty(),
+            "record stream: partial summary cell at finish (row count is "
+            "not a multiple of reps)");
+  sink_.finish();
+}
+
 // ---- CsvSink ----------------------------------------------------------------
 
 CsvSink::CsvSink(const SinkConfig& config)
     : out_(open_text_destination("csv", config, file_)) {}
 
-void CsvSink::begin(const std::vector<std::string>& columns) {
+void CsvSink::begin(const MetricSchema& schema) {
   CS_ASSERT(!writer_.has_value(), "sink: begin() called twice");
-  writer_.emplace(*out_, columns);
+  writer_.emplace(*out_, schema.keys());
 }
 
-void CsvSink::write_row(const std::vector<std::string>& cells) {
-  CS_ASSERT(writer_.has_value(), "sink: write_row() before begin()");
-  writer_->row(cells);
+void CsvSink::write(const RunRecord& record) {
+  CS_ASSERT(writer_.has_value(), "sink: write() before begin()");
+  writer_->row(record.cells());
   ++rows_;
 }
 
@@ -53,20 +94,46 @@ void CsvSink::finish() { out_->flush(); }
 JsonlSink::JsonlSink(const SinkConfig& config)
     : out_(open_text_destination("jsonl", config, file_)) {}
 
-void JsonlSink::begin(const std::vector<std::string>& columns) {
-  CS_ASSERT(columns_.empty(), "sink: begin() called twice");
-  CS_ASSERT(!columns.empty(), "sink: empty column list");
-  columns_ = columns;
+void JsonlSink::begin(const MetricSchema& schema) {
+  CS_ASSERT(schema_.empty(), "sink: begin() called twice");
+  CS_ASSERT(!schema.empty(), "sink: empty schema");
+  schema_ = schema;
 }
 
-void JsonlSink::write_row(const std::vector<std::string>& cells) {
-  CS_ASSERT(cells.size() == columns_.size(), "sink: row width mismatch");
+void JsonlSink::write(const RunRecord& record) {
+  CS_ASSERT(record.size() == schema_.size(), "sink: row width mismatch");
   std::string line = "{";
-  for (std::size_t i = 0; i < cells.size(); ++i) {
+  for (std::size_t i = 0; i < schema_.size(); ++i) {
     if (i != 0) line += ',';
-    line += json_quote(columns_[i]);
+    line += json_quote(schema_.spec(i).key);
     line += ':';
-    line += json_quote(cells[i]);
+    const MetricValue& v = record.value(i);
+    if (!v.has_value()) {
+      line += "null";
+      continue;
+    }
+    switch (schema_.spec(i).type) {
+      case MetricType::kString:
+        line += json_quote(v.as_string());
+        break;
+      case MetricType::kBool:
+        line += v.as_bool() ? "true" : "false";
+        break;
+      case MetricType::kU64:
+      case MetricType::kSize:
+        // Native JSON number, spelled exactly like the CSV cell (the shared
+        // formatting path). JSON numbers are arbitrary-precision decimal, so
+        // u64 values above 2^53 survive verbatim in the text.
+        line += record.cell_text(i);
+        break;
+      case MetricType::kF64: {
+        const double d = v.as_f64();
+        // JSON has no nan/inf literals; quote the non-finite spellings.
+        if (std::isfinite(d)) line += record.cell_text(i);
+        else line += json_quote(record.cell_text(i));
+        break;
+      }
+    }
   }
   line += "}\n";
   *out_ << line;
@@ -96,6 +163,17 @@ std::string quote_ident(const std::string& name) {
   }
   out += '"';
   return out;
+}
+
+const char* column_affinity(MetricType type) {
+  switch (type) {
+    case MetricType::kU64:
+    case MetricType::kSize:
+    case MetricType::kBool: return "INTEGER";
+    case MetricType::kF64: return "REAL";
+    case MetricType::kString: return "TEXT";
+  }
+  return "TEXT";
 }
 
 }  // namespace
@@ -133,18 +211,20 @@ void SqliteSink::exec(const std::string& sql) {
   }
 }
 
-void SqliteSink::begin(const std::vector<std::string>& columns) {
+void SqliteSink::begin(const MetricSchema& schema) {
   CS_ASSERT(insert_ == nullptr, "sink: begin() called twice");
-  CS_ASSERT(!columns.empty(), "sink: empty column list");
+  CS_ASSERT(!schema.empty(), "sink: empty schema");
   std::string create = "CREATE TABLE runs (";
   std::string insert = "INSERT INTO runs VALUES (";
-  for (std::size_t i = 0; i < columns.size(); ++i) {
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    const MetricSpec& spec = schema.spec(i);
     if (i != 0) {
       create += ", ";
       insert += ",";
     }
-    create += quote_ident(columns[i]) + " TEXT";
+    create += quote_ident(spec.key) + " " + column_affinity(spec.type);
     insert += "?";
+    types_.push_back(spec.type);
   }
   create += ")";
   insert += ")";
@@ -159,16 +239,40 @@ void SqliteSink::begin(const std::vector<std::string>& columns) {
     sqlite_fail(db_, "cannot prepare row insert");
 }
 
-void SqliteSink::write_row(const std::vector<std::string>& cells) {
-  CS_ASSERT(insert_ != nullptr, "sink: write_row() before begin()");
-  CS_ASSERT(static_cast<int>(cells.size()) ==
-                sqlite3_bind_parameter_count(insert_),
-            "sink: row width mismatch");
-  for (std::size_t i = 0; i < cells.size(); ++i)
-    if (sqlite3_bind_text(insert_, static_cast<int>(i + 1), cells[i].data(),
-                          static_cast<int>(cells[i].size()),
-                          SQLITE_TRANSIENT) != SQLITE_OK)
-      sqlite_fail(db_, "cannot bind row cell");
+void SqliteSink::write(const RunRecord& record) {
+  CS_ASSERT(insert_ != nullptr, "sink: write() before begin()");
+  CS_ASSERT(record.size() == types_.size(), "sink: row width mismatch");
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    const int slot = static_cast<int>(i + 1);
+    const MetricValue& v = record.value(i);
+    int rc = SQLITE_OK;
+    if (!v.has_value()) {
+      rc = sqlite3_bind_null(insert_, slot);
+    } else {
+      switch (types_[i]) {
+        case MetricType::kU64:
+        case MetricType::kSize:
+          // Two's-complement bind: values >= 2^63 keep their bit pattern
+          // (cast sqlite3_column_int64 back to uint64_t for an exact read).
+          rc = sqlite3_bind_int64(
+              insert_, slot, static_cast<sqlite3_int64>(v.as_u64()));
+          break;
+        case MetricType::kBool:
+          rc = sqlite3_bind_int(insert_, slot, v.as_bool() ? 1 : 0);
+          break;
+        case MetricType::kF64:
+          rc = sqlite3_bind_double(insert_, slot, v.as_f64());
+          break;
+        case MetricType::kString: {
+          const std::string& s = v.as_string();
+          rc = sqlite3_bind_text(insert_, slot, s.data(),
+                                 static_cast<int>(s.size()), SQLITE_TRANSIENT);
+          break;
+        }
+      }
+    }
+    if (rc != SQLITE_OK) sqlite_fail(db_, "cannot bind row cell");
+  }
   if (sqlite3_step(insert_) != SQLITE_DONE)
     sqlite_fail(db_, "cannot insert row");
   sqlite3_reset(insert_);
@@ -202,14 +306,14 @@ SinkRegistry& SinkRegistry::instance() {
                      return std::make_unique<CsvSink>(config);
                    }});
     r->add("jsonl",
-           {"JSON Lines: one object per run, keys = column names",
+           {"JSON Lines: one object per run, native numbers, keys = columns",
             [](const SinkConfig& config) -> std::unique_ptr<ResultSink> {
               return std::make_unique<JsonlSink>(config);
             }});
 #if defined(COLSCORE_HAVE_SQLITE)
     r->add("sqlite",
-           {"sqlite database with a `runs` table (query sweeps without "
-            "parsing)",
+           {"sqlite database with a typed `runs` table (INTEGER/REAL "
+            "affinities; query sweeps without parsing)",
             [](const SinkConfig& config) -> std::unique_ptr<ResultSink> {
               return std::make_unique<SqliteSink>(config);
             }});

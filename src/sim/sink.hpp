@@ -1,18 +1,24 @@
 // Pluggable result sinks: where suite rows land.
 //
 // SuiteRunner streams completed runs in run-index order; a ResultSink turns
-// that stream into a persistent artifact. Every sink consumes the same
-// column list (suite_csv_columns) and the same cell strings
-// (suite_row_cells), so the *row contents* of a fixed-seed suite are
-// identical across sinks by construction — CSV for eyeballs and spreadsheets,
-// JSONL for jq/pandas pipelines, sqlite for million-run sweeps you want to
-// query without parsing anything.
+// that stream into a persistent artifact. Since PR 5 the stream is *typed*:
+// begin() receives the MetricSchema and write() a RunRecord, so numeric
+// columns stay numeric end-to-end — the sqlite `runs` table gets
+// INTEGER/REAL column affinities, JSONL emits native JSON numbers, and all
+// text rendering goes through the one shared path
+// (RunRecord::cell_text / format_metric_double), never per sink. A
+// fixed-seed suite therefore lands the same *values* in every sink by
+// construction, and the same bytes wherever the representation is text.
 //
 // Sinks are a registry like workloads/adversaries/algorithms: registering a
 // name and a factory is the whole integration (`colscore_cli --sink NAME`
 // and suite files' "sink" key look names up here). The sqlite sink links the
 // system sqlite3 library and is compiled out — absent from the registry, not
 // stubbed — when the toolchain lacks it (COLSCORE_HAVE_SQLITE).
+//
+// Column selection (--columns / a suite file's "columns") and per-cell
+// summary aggregation over reps are applied *in front of* the sink by
+// RecordStream, so every sink inherits them for free.
 #pragma once
 
 #include <fstream>
@@ -24,6 +30,7 @@
 #include <vector>
 
 #include "src/common/csv.hpp"
+#include "src/sim/record.hpp"
 #include "src/sim/registry.hpp"
 
 extern "C" {
@@ -33,16 +40,18 @@ struct sqlite3_stmt;
 
 namespace colscore {
 
-/// Streaming consumer of suite rows. Lifecycle: begin(columns) once, then
-/// write_row per run (in run-index order — SuiteRunner guarantees it), then
+/// Streaming consumer of suite rows. Lifecycle: begin(schema) once, then
+/// write() per row (in run-index order — SuiteRunner guarantees it), then
 /// finish() once. finish() is where buffered sinks flush/commit; destructors
-/// call it defensively, but call it explicitly to observe errors.
+/// call it defensively, but call it explicitly to observe errors. Rows'
+/// records must be shaped like the begin() schema (RecordStream guarantees
+/// it).
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
 
-  virtual void begin(const std::vector<std::string>& columns) = 0;
-  virtual void write_row(const std::vector<std::string>& cells) = 0;
+  virtual void begin(const MetricSchema& schema) = 0;
+  virtual void write(const RunRecord& record) = 0;
   virtual void finish() {}
 
   std::size_t rows_written() const noexcept { return rows_; }
@@ -59,16 +68,55 @@ struct SinkConfig {
   std::ostream* stream = nullptr;
 };
 
+// ---- selection + summary ----------------------------------------------------
+
+/// The schema-driven plumbing every sink inherits: projects each full
+/// RunRecord onto the selected columns, optionally aggregates each grid
+/// cell's `reps` adjacent rows into one summary row (mean/min/max of the
+/// numeric metrics; first value for strings/bools), and streams the result
+/// into the sink. Construction validates the selection against the schema
+/// and calls sink.begin() with the output schema; finish() forwards to
+/// sink.finish().
+class RecordStream {
+ public:
+  struct Options {
+    SummaryStat summary = SummaryStat::kNone;
+    /// Rows per summary cell (the suite's reps). Ignored without a summary
+    /// stat; the run count must be a multiple of it.
+    std::size_t reps = 1;
+  };
+
+  RecordStream(ResultSink& sink, const MetricSchema& schema,
+               std::span<const std::string> columns, Options options);
+  RecordStream(ResultSink& sink, const MetricSchema& schema,
+               std::span<const std::string> columns)
+      : RecordStream(sink, schema, columns, Options{}) {}
+
+  /// `record` must be on (or shaped like) the full schema passed to the
+  /// constructor.
+  void write(const RunRecord& record);
+  void finish();
+
+ private:
+  ResultSink& sink_;
+  MetricSchema selected_;  // projection of the full schema, column order
+  MetricSchema out_;       // selected_, summarized when a stat is chosen
+  std::vector<std::size_t> map_;  // selected index -> full-schema index
+  SummaryStat summary_;
+  std::size_t reps_;
+  std::vector<RunRecord> cell_;  // rows buffered toward one summary row
+};
+
 // ---- built-in sinks ---------------------------------------------------------
 
 /// The historical CSV output (CsvWriter underneath): header row, then one
-/// comma-separated row per run.
+/// comma-separated row per run, cells via RunRecord::cell_text.
 class CsvSink : public ResultSink {
  public:
   explicit CsvSink(const SinkConfig& config);
 
-  void begin(const std::vector<std::string>& columns) override;
-  void write_row(const std::vector<std::string>& cells) override;
+  void begin(const MetricSchema& schema) override;
+  void write(const RunRecord& record) override;
   void finish() override;
 
  private:
@@ -77,35 +125,41 @@ class CsvSink : public ResultSink {
   std::optional<CsvWriter> writer_;
 };
 
-/// JSON Lines: one object per run, keys = column names, values = the exact
-/// cell strings (kept as JSON strings so every sink's row contents are
-/// byte-comparable). No header line.
+/// JSON Lines: one object per run, keys = column names, values typed —
+/// native JSON numbers for u64/size and finite f64 (spelled exactly like
+/// the CSV cell), true/false for bools, strings quoted, absent metrics
+/// null. Non-finite doubles have no JSON number spelling and are emitted as
+/// quoted strings ("nan", "inf", "-inf"). No header line.
 class JsonlSink : public ResultSink {
  public:
   explicit JsonlSink(const SinkConfig& config);
 
-  void begin(const std::vector<std::string>& columns) override;
-  void write_row(const std::vector<std::string>& cells) override;
+  void begin(const MetricSchema& schema) override;
+  void write(const RunRecord& record) override;
   void finish() override;
 
  private:
   std::ofstream file_;
   std::ostream* out_;
-  std::vector<std::string> columns_;
+  MetricSchema schema_;
 };
 
 #if defined(COLSCORE_HAVE_SQLITE)
-/// Sqlite database with a single `runs` table whose columns mirror
-/// suite_csv_columns (all TEXT, same cell strings as the CSV). The whole
-/// suite inserts inside one transaction; finish() commits. An existing
-/// `runs` table is dropped first so a re-run reproduces the file.
+/// Sqlite database with a single `runs` table whose columns mirror the
+/// schema with real affinities: INTEGER for u64/size/bool, REAL for f64,
+/// TEXT for strings; absent metrics are NULL. u64 values are stored as
+/// sqlite's signed 64-bit integers (two's-complement bit pattern), so a
+/// value >= 2^63 reads back exactly via a cast of sqlite3_column_int64 but
+/// *prints* negative in raw SQL. The whole suite inserts inside one
+/// transaction; finish() commits. An existing `runs` table is dropped first
+/// so a re-run reproduces the file.
 class SqliteSink : public ResultSink {
  public:
   explicit SqliteSink(const SinkConfig& config);
   ~SqliteSink() override;
 
-  void begin(const std::vector<std::string>& columns) override;
-  void write_row(const std::vector<std::string>& cells) override;
+  void begin(const MetricSchema& schema) override;
+  void write(const RunRecord& record) override;
   void finish() override;
 
  private:
@@ -113,6 +167,7 @@ class SqliteSink : public ResultSink {
 
   sqlite3* db_ = nullptr;
   sqlite3_stmt* insert_ = nullptr;
+  std::vector<MetricType> types_;
   bool in_transaction_ = false;
 };
 #endif  // COLSCORE_HAVE_SQLITE

@@ -153,52 +153,21 @@ std::vector<SuiteRun> SuiteRunner::run_grid(const ScenarioSpec& base,
 
 // ---- CSV --------------------------------------------------------------------
 
+// Both functions are thin shims over the typed schema layer
+// (src/sim/record.hpp): the default column selection and the one shared
+// formatting path. The cell bytes are pinned by the determinism goldens.
+
 std::vector<std::string> suite_csv_columns(bool include_wall, bool include_rep) {
-  std::vector<std::string> columns{
-      "workload",   "algorithm",  "adversary",    "n",
-      "budget",     "diameter",   "dishonest",    "seed",
-      "max_err",    "mean_err",   "max_probes",   "honest_max_probes",
-      "total_probes", "board_reports", "err_over_opt"};
-  if (include_rep) columns.insert(columns.begin() + 8, "rep");
-  if (include_wall) columns.push_back("wall_s");
-  return columns;
+  return default_columns(include_wall, include_rep);
 }
 
 std::vector<std::string> suite_row_cells(const SuiteRun& run, bool include_wall,
                                          bool include_rep) {
-  const Scenario& sc = run.scenario;
-  const ExperimentOutcome& out = run.outcome;
-  std::vector<std::string> cells{
-      sc.workload,
-      sc.algorithm,
-      sc.adversary,
-      std::to_string(sc.n),
-      std::to_string(sc.budget),
-      std::to_string(sc.diameter),
-      std::to_string(sc.dishonest),
-      std::to_string(sc.seed),
-      std::to_string(out.error.max_error),
-      [&] {
-        std::ostringstream os;
-        os << out.error.mean_error;
-        return os.str();
-      }(),
-      std::to_string(out.max_probes),
-      std::to_string(out.honest_max_probes),
-      std::to_string(out.total_probes),
-      std::to_string(out.board_reports),
-      [&] {
-        std::ostringstream os;
-        os << out.approx_ratio;
-        return os.str();
-      }()};
-  if (include_rep)
-    cells.insert(cells.begin() + 8, std::to_string(run.rep));
-  if (include_wall) {
-    std::ostringstream os;
-    os << out.wall_seconds;
-    cells.push_back(os.str());
-  }
+  const MetricSchema schema = scenario_metric_schema(run.scenario);
+  const RunRecord record = make_run_record(run, schema);
+  std::vector<std::string> cells;
+  for (const std::string& key : default_columns(include_wall, include_rep))
+    cells.push_back(record.cell_text(schema.index_of(key)));
   return cells;
 }
 

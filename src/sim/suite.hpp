@@ -97,17 +97,18 @@ class SuiteRunner {
 
 // ---- CSV --------------------------------------------------------------------
 
-/// Column set shared by the CLI, result sinks, and tests. Wall time is
-/// excluded by default so suite outputs are bit-for-bit reproducible; the
-/// `rep` column (after `seed`) is opt-in so single-run CSVs keep their
-/// historical shape.
+/// The default (historical) column selection — a shim over
+/// default_columns() in src/sim/record.hpp, kept for the CSV-shaped callers.
+/// Wall time is excluded by default so suite outputs are bit-for-bit
+/// reproducible; the `rep` column (after `seed`) is opt-in so single-run
+/// CSVs keep their historical shape.
 std::vector<std::string> suite_csv_columns(bool include_wall = false,
                                            bool include_rep = false);
 
-/// The row cells for `run`, ordered like suite_csv_columns. This is the one
-/// place run fields become text — every sink (CSV, JSONL, sqlite) writes
-/// these exact strings, which is what makes sink outputs row-equivalent by
-/// construction.
+/// The default-column cells for `run`, rendered through the typed schema
+/// layer (make_run_record + RunRecord::cell_text — the one formatting path
+/// every text sink shares). Byte-identical to the historical stringly
+/// output; the determinism goldens pin it.
 std::vector<std::string> suite_row_cells(const SuiteRun& run,
                                          bool include_wall = false,
                                          bool include_rep = false);

@@ -1,5 +1,6 @@
 #include "src/sim/suitefile.hpp"
 
+#include <algorithm>
 #include <fstream>
 #include <sstream>
 
@@ -11,7 +12,8 @@ namespace {
 
 constexpr const char* kAcceptedKeys[] = {
     "name",    "description", "base", "grids",        "reps",      "threads",
-    "sink",    "output",      "wall", "derive_seeds", "seed_salt",
+    "sink",    "output",      "wall", "derive_seeds", "seed_salt", "columns",
+    "summary",
 };
 
 [[noreturn]] void fail(const std::string& origin, const std::string& what) {
@@ -176,13 +178,47 @@ SuiteFile parse_suite_file(std::string_view json_text, std::string origin) {
       file.derive_seeds = require_bool(file.origin, "derive_seeds", value);
     } else if (key == "seed_salt") {
       file.seed_salt = require_integer(file.origin, "seed_salt", value);
+    } else if (key == "columns") {
+      if (value.is_string()) {
+        try {
+          file.columns = parse_column_list(value.text);
+        } catch (const ScenarioError& e) {
+          fail(file.origin, e.what());
+        }
+      } else if (value.is_array()) {
+        for (std::size_t i = 0; i < value.items.size(); ++i) {
+          if (!value.items[i].is_string())
+            fail(file.origin, "\"columns\" entries must be metric keys "
+                              "(entry " + std::to_string(i + 1) + " is " +
+                                  value.items[i].kind_name() + ")");
+          file.columns.push_back(value.items[i].text);
+        }
+        if (file.columns.empty())
+          fail(file.origin, "\"columns\" must not be an empty array");
+      } else {
+        wrong_type(file.origin, "columns",
+                   "an array of metric keys or one comma-separated string",
+                   value);
+      }
+    } else if (key == "summary") {
+      try {
+        file.summary =
+            parse_summary_stat(require_string(file.origin, "summary", value));
+      } catch (const ScenarioError& e) {
+        fail(file.origin, e.what());
+      }
     }
   }
 
-  // Surface spec/grid errors at parse time with the file named, not when the
-  // suite starts: a reviewable artifact should fail its review early.
+  // Surface spec/grid/column errors at parse time with the file named, not
+  // when the suite starts: a reviewable artifact should fail its review
+  // early. Resolutions are validate-and-discard (nothing retained per cell);
+  // the schema union resolves one representative per distinct entry triple.
   try {
-    for (const ScenarioSpec& spec : file.expand()) (void)Scenario::resolve(spec);
+    const std::vector<ScenarioSpec> specs = file.expand();
+    for (const ScenarioSpec& spec : specs) (void)Scenario::resolve(spec);
+    if (!file.columns.empty())
+      (void)suite_metric_schema(specs).select(file.columns);
   } catch (const ScenarioError& e) {
     fail(file.origin, e.what());
   }
@@ -209,13 +245,28 @@ std::vector<SuiteRun> run_suite_file(const SuiteFile& file,
       overrides.sink.has_value() ? *overrides.sink : file.sink;
   const std::unique_ptr<ResultSink> sink = make_sink(sink_name, config);
 
+  // The suite's schema (built-ins + every cell's entry metrics, resolved
+  // once per distinct entry triple) and the selected columns; selection and
+  // per-cell summary run in RecordStream, in front of whichever sink was
+  // chosen.
+  const std::vector<ScenarioSpec> specs = file.expand();
+  const MetricSchema schema = suite_metric_schema(specs);
   const bool include_rep = options.reps > 1;
-  sink->begin(suite_csv_columns(file.include_wall, include_rep));
+  std::vector<std::string> columns =
+      file.columns.empty() ? default_columns(file.include_wall, include_rep)
+                           : file.columns;
+  // "wall": true is an explicit request; honor it alongside an explicit
+  // "columns" selection (same rule as the CLI's --wall + --columns).
+  if (file.include_wall && !file.columns.empty() &&
+      std::find(columns.begin(), columns.end(), "wall_s") == columns.end())
+    columns.push_back("wall_s");
+  RecordStream stream(*sink, schema, columns,
+                      {file.summary, options.reps});
   options.on_result = [&](const SuiteRun& run) {
-    sink->write_row(suite_row_cells(run, file.include_wall, include_rep));
+    stream.write(make_run_record(run, schema));
   };
-  std::vector<SuiteRun> runs = SuiteRunner(options).run(file.expand());
-  sink->finish();
+  std::vector<SuiteRun> runs = SuiteRunner(options).run(specs);
+  stream.finish();
   return runs;
 }
 

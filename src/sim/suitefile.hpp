@@ -25,7 +25,11 @@
 // replication is a suite property here, not a sweep axis). Optional knobs:
 // "threads" (0 = hardware), "wall" (include the wall_s column; off by
 // default so outputs are byte-reproducible), "derive_seeds" (default true;
-// false reruns literal seeds), "seed_salt".
+// false reruns literal seeds), "seed_salt", "columns" (explicit column
+// selection — an array of metric keys or one comma-separated string,
+// validated against the suite's metric schema at parse time; default: the
+// historical column set), and "summary" ("mean"/"min"/"max": one aggregated
+// row per grid cell instead of one row per rep).
 //
 // All validation errors are ScenarioErrors prefixed "suite file 'PATH':"
 // and name the offending key, so a typo in a checked-in suite fails the CI
@@ -56,6 +60,11 @@ struct SuiteFile {
   bool derive_seeds = true;
   std::optional<std::uint64_t> seed_salt;
   bool include_wall = false;
+  /// Explicit column selection (schema keys, in order). Empty = the default
+  /// column set (plus rep/wall as configured).
+  std::vector<std::string> columns;
+  /// Per-cell aggregation over reps (kNone = one row per run).
+  SummaryStat summary = SummaryStat::kNone;
   std::string sink = "csv";
   std::string output;  // empty = stdout (file-only sinks reject at run time)
 
@@ -85,8 +94,9 @@ struct SuiteFileOverrides {
   std::ostream* stream = nullptr;
 };
 
-/// Expands the file, builds its sink, streams every run through it (begin /
-/// write_row per run in index order / finish), and returns the runs.
+/// Expands the file, builds its sink and metric schema, and streams every
+/// run through a RecordStream (column selection + summary applied) into the
+/// sink in run-index order; returns the runs.
 std::vector<SuiteRun> run_suite_file(const SuiteFile& file,
                                      const SuiteFileOverrides& overrides = {});
 

@@ -3,11 +3,24 @@
 #pragma once
 
 #include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
 
 #include "src/model/generators.hpp"
 #include "src/protocols/env.hpp"
 
 namespace colscore::testutil {
+
+/// Splits one CSV line on commas (no quoting — the golden rows contain
+/// none). Shared by the golden-row consumers (test_sinks, test_record).
+inline std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::stringstream in(line);
+  std::string cell;
+  while (std::getline(in, cell, ',')) cells.push_back(cell);
+  return cells;
+}
 
 // Fixed-seed golden pinned by test_determinism_csv and reused by the sink
 // tests: one scenario, one byte-exact suite row (wall column excluded).

@@ -18,6 +18,7 @@
 // streamed in grid order as runs complete; otherwise a human-readable
 // report. --suite runs a checked-in JSON suite file (base spec + grids +
 // reps + sink), with --sink/--out/--threads overriding the file's choices.
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -69,10 +70,16 @@ namespace {
       "  --out PATH          sink destination (default: stdout; sqlite requires a path)\n"
       "  --wall              include the wall_s column (off by default: byte-reproducible)\n"
       "  --csv               shorthand for --sink csv --wall (the historical output)\n"
+      "  --columns a,b,c     select output columns from the metric schema\n"
+      "                      (see --list-columns; default: the historical column set)\n"
+      "  --summary STAT      one aggregated row per grid cell over its reps\n"
+      "                      (mean|min|max of every numeric column)\n"
       "  --list-workloads    print registered workloads and exit\n"
       "  --list-adversaries  print registered adversaries and exit\n"
       "  --list-algorithms   print registered algorithms and exit\n"
-      "  --list-sinks        print registered result sinks and exit\n",
+      "  --list-sinks        print registered result sinks and exit\n"
+      "  --list-columns      print the metric schema for the selected scenario\n"
+      "                      (key, type, origin, description) and exit\n",
       argv0);
   std::exit(2);
 }
@@ -110,11 +117,14 @@ int run(int argc, char** argv) {
   std::optional<std::string> sink_name;
   std::optional<std::string> out_path;
   std::optional<std::size_t> threads_flag;
+  std::optional<std::string> columns_flag;
+  SummaryStat summary = SummaryStat::kNone;
   bool csv = false;
   bool wall = false;
   bool raw_seeds = false;
   bool grid_requested = false;
   bool spec_touched = false;
+  bool list_columns = false;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -178,6 +188,9 @@ int run(int argc, char** argv) {
     else if (arg == "--wall") wall = true;
     else if (arg == "--sink") sink_name = next();
     else if (arg == "--out") out_path = next();
+    else if (arg == "--columns") columns_flag = next();
+    else if (arg == "--summary") summary = parse_summary_stat(next());
+    else if (arg == "--list-columns") list_columns = true;
     else if (arg == "--list-workloads") {
       print_registry("workloads", WorkloadRegistry::instance().descriptions());
       return 0;
@@ -195,6 +208,41 @@ int run(int argc, char** argv) {
     }
   }
 
+  // ---- schema listing --------------------------------------------------------
+  // Handled after the flag loop (unlike the registry listings) so the schema
+  // reflects the scenarios the other flags select — entry-declared metrics
+  // appear for every workload/adversary/algorithm in play, including ones a
+  // --grid axis sweeps in.
+  if (list_columns) {
+    MetricSchema schema;
+    if (!suite_path.empty()) {
+      // Listing for a suite file: its own expansion defines the schema, so
+      // the same exclusivity rule as running it applies.
+      if (spec_touched || grid_requested)
+        throw ScenarioError(
+            "--suite cannot be combined with scenario or grid flags; edit "
+            "the suite file (or spell the sweep with --grid)");
+      schema = suite_metric_schema(load_suite_file(suite_path).expand());
+    } else {
+      std::vector<GridAxis> list_axes = parse_grid(grid);
+      (void)take_reps_axis(list_axes);
+      schema = suite_metric_schema(expand_grid(spec, list_axes));
+    }
+    std::printf("columns:\n");
+    std::size_t key_width = 0;
+    std::size_t origin_width = 0;
+    for (const MetricSpec& s : schema.specs()) {
+      key_width = std::max(key_width, s.key.size());
+      origin_width = std::max(origin_width, s.origin.size());
+    }
+    for (const MetricSpec& s : schema.specs())
+      std::printf("  %-*s  %-6s  %-*s  %s\n", static_cast<int>(key_width),
+                  s.key.c_str(), metric_type_name(s.type),
+                  static_cast<int>(origin_width), s.origin.c_str(),
+                  s.description.c_str());
+    return 0;
+  }
+
   // ---- suite-file mode -------------------------------------------------------
   if (!suite_path.empty()) {
     // A suite file is the reviewable artifact; flags silently fighting its
@@ -206,11 +254,13 @@ int run(int argc, char** argv) {
       throw ScenarioError(
           "--suite cannot be combined with scenario or grid flags; edit the "
           "suite file (or spell the sweep with --grid)");
-    if (csv || wall || raw_seeds)
+    if (csv || wall || raw_seeds || columns_flag.has_value() ||
+        summary != SummaryStat::kNone)
       throw ScenarioError(
-          "--suite cannot be combined with --csv/--wall/--raw-seeds; set the "
-          "suite file's \"sink\", \"wall\", or \"derive_seeds\" keys (or "
-          "override the sink alone with --sink)");
+          "--suite cannot be combined with --csv/--wall/--raw-seeds/"
+          "--columns/--summary; set the suite file's \"sink\", \"wall\", "
+          "\"derive_seeds\", \"columns\", or \"summary\" keys (or override "
+          "the sink alone with --sink)");
     SuiteFileOverrides overrides;
     overrides.sink = sink_name;
     overrides.output = out_path;
@@ -230,30 +280,49 @@ int run(int argc, char** argv) {
   const bool show_rep = options.reps > 1;
 
   // --csv is the historical shorthand: CSV rows with the wall column. Any
-  // other machine output goes through a registered sink; --out alone implies
-  // the csv sink.
+  // other machine output goes through a registered sink; --out, --columns,
+  // or --summary alone imply the csv sink.
   if (csv) {
     if (!sink_name.has_value()) sink_name = "csv";
     wall = true;
-  } else if (out_path.has_value() && !sink_name.has_value()) {
+  } else if (!sink_name.has_value() &&
+             (out_path.has_value() || columns_flag.has_value() ||
+              summary != SummaryStat::kNone)) {
     sink_name = "csv";
   }
 
+  const std::vector<ScenarioSpec> specs = expand_grid(spec, axes);
+
   std::unique_ptr<ResultSink> sink;
+  MetricSchema schema;
+  std::optional<RecordStream> stream;
   if (sink_name.has_value()) {
     SinkConfig config;
     if (out_path.has_value()) config.path = *out_path;
     sink = make_sink(*sink_name, config);
-    sink->begin(suite_csv_columns(wall, show_rep));
+    // The sweep's schema (built-ins + every cell's entry metrics, resolved
+    // once per distinct entry triple); column selection and the per-cell
+    // summary run in RecordStream, shared by every sink.
+    schema = suite_metric_schema(specs);
+    std::vector<std::string> columns =
+        columns_flag.has_value() ? parse_column_list(*columns_flag)
+                                 : default_columns(wall, show_rep);
+    // --wall (incl. --csv's implied wall) is an explicit request; honor it
+    // alongside an explicit selection rather than silently dropping it.
+    if (wall && columns_flag.has_value() &&
+        std::find(columns.begin(), columns.end(), "wall_s") == columns.end())
+      columns.push_back("wall_s");
+    stream.emplace(*sink, schema, columns,
+                   RecordStream::Options{summary, options.reps});
   }
   options.on_result = [&](const SuiteRun& run) {
-    if (sink) sink->write_row(suite_row_cells(run, wall, show_rep));
+    if (stream) stream->write(make_run_record(run, schema));
     else print_human(run, show_rep);
   };
 
   SuiteRunner runner(options);
-  runner.run(expand_grid(spec, axes));
-  if (sink) sink->finish();
+  runner.run(specs);
+  if (stream) stream->finish();
   return 0;
 }
 
