@@ -115,13 +115,17 @@ SampleShareResult sample_and_share(ProtocolEnv& env, const SampleShareParams& pa
   std::vector<BitVector> answers(n, BitVector(t_size));
   for (PlayerId p = 0; p < n; ++p) {
     const ReportContext ctx{Phase::kSample, sample_channel};
-    Rng prng = env.local_rng(p, sample_channel);
-    for (std::size_t i = 0; i < t_size; ++i)
-      answers[p].set(i, env.population.is_honest(p)
-                            ? env.oracle.probe(p, sample[i])
-                            : env.population.behavior(p).report(
-                                  p, sample[i],
-                                  env.oracle.adversary_peek(p, sample[i]), ctx, prng));
+    if (env.population.is_honest(p)) {
+      // The sample slate is known up front: one batched charge of t_size
+      // probes, bit-identical to probing sample[i] one at a time.
+      env.oracle.probe_gather(p, sample, answers[p]);
+    } else {
+      Rng prng = env.local_rng(p, sample_channel);
+      for (std::size_t i = 0; i < t_size; ++i)
+        answers[p].set(i, env.population.behavior(p).report(
+                              p, sample[i],
+                              env.oracle.adversary_peek(p, sample[i]), ctx, prng));
+    }
     env.board.post_vector(sample_channel, p, answers[p]);
   }
 

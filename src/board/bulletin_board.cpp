@@ -48,6 +48,8 @@ std::vector<ProbeReport> BulletinBoard::all_reports(std::uint64_t tag) const {
   std::vector<ProbeReport> out;
   for (const auto& shard : report_shards_) {
     std::lock_guard lock(shard.mutex);
+    // colscore-lint: allow(CL007) buckets are re-sorted by object id below,
+    // so the map's hash order cannot reach the caller
     for (const auto& [key, reports] : shard.by_key) {
       // Keys embed the tag; verify membership by recomputing.
       if (!reports.empty() && report_key(tag, reports.front().object) == key) {
@@ -55,6 +57,12 @@ std::vector<ProbeReport> BulletinBoard::all_reports(std::uint64_t tag) const {
       }
     }
   }
+  // One object's reports share a bucket, so a stable sort by object id keeps
+  // posting order within each object while fixing the cross-object order.
+  std::stable_sort(out.begin(), out.end(),
+                   [](const ProbeReport& a, const ProbeReport& b) {
+                     return a.object < b.object;
+                   });
   return out;
 }
 

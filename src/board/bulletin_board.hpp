@@ -53,7 +53,8 @@ class BulletinBoard {
   /// All reports about `object` on channel `tag` (posting order).
   std::vector<ProbeReport> reports_for(std::uint64_t tag, ObjectId object) const;
 
-  /// All reports on channel `tag` (unspecified order across objects).
+  /// All reports on channel `tag` (ascending object id; posting order
+  /// within an object).
   std::vector<ProbeReport> all_reports(std::uint64_t tag) const;
 
   // ---- vector channel ---------------------------------------------------

@@ -25,18 +25,6 @@ ProbeOracle::ProbeOracle(const TruthSource& truth, BudgetMode mode, std::uint64_
   for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
 }
 
-void ProbeOracle::probe_many(PlayerId p, std::span<const ObjectId> objects,
-                             std::span<std::uint8_t> out) {
-  CS_ASSERT(p < counts_.size(), "probe_many: bad player id");
-  CS_ASSERT(out.size() >= objects.size(), "probe_many: output too small");
-  if (objects.empty()) return;
-  charge(p, objects.size());
-  for (std::size_t i = 0; i < objects.size(); ++i) {
-    CS_ASSERT(objects[i] < truth_->n_objects(), "probe_many: bad object id");
-    out[i] = truth_->preference(p, objects[i]) ? 1 : 0;
-  }
-}
-
 void ProbeOracle::probe_row(PlayerId p, ObjectId first_object, std::size_t n,
                             BitRow out) {
   CS_ASSERT(p < counts_.size(), "probe_row: bad player id");

@@ -64,15 +64,6 @@ class ProbeOracle {
     return read_bit(p, o);
   }
 
-  /// Batch probe: fills out[i] = v(p)_objects[i], charging all
-  /// objects.size() probes to p in a single counter round-trip. Deprecated
-  /// uint8-out compat form from PR 1 — the word-level BitRow forms below
-  /// (probe_row / probe_gather) carry the same charge semantics without the
-  /// per-bit virtual reads or the byte-wide output.
-  [[deprecated("use probe_row / probe_gather (BitRow probe pipeline)")]]
-  void probe_many(PlayerId p, std::span<const ObjectId> objects,
-                  std::span<std::uint8_t> out);
-
   /// Word-level probe: fills out with v(p) over the contiguous object range
   /// [first_object, first_object + n), charging all n probes in a single
   /// counter round-trip and moving the bits through TruthSource's packed

@@ -41,21 +41,6 @@ struct ProtocolEnv {
     return population.is_honest(p) ? oracle.probe(p, o) : oracle.adversary_peek(p, o);
   }
 
-  /// Batch form of own_probe (same honest-pays / dishonest-peeks rule);
-  /// honest players are charged in one counter round-trip. Compat shim over
-  /// the BitRow probe pipeline — the uint8 unpack costs a copy the BitRow
-  /// forms don't pay.
-  [[deprecated("use own_probe_bits / own_probe_row (BitRow probe pipeline)")]]
-  void own_probe_many(PlayerId p, std::span<const ObjectId> objects,
-                      std::span<std::uint8_t> out) {
-    CS_ASSERT(out.size() >= objects.size(), "own_probe_many: output too small");
-    if (objects.empty()) return;
-    BitVector bits(objects.size());  // inline storage for slates <= 192 bits
-    own_probe_bits(p, objects, bits);
-    for (std::size_t i = 0; i < objects.size(); ++i)
-      out[i] = bits.get(i) ? 1 : 0;
-  }
-
   /// Word-level form: learn the contiguous object range [first_object,
   /// first_object + n) straight into a BitRow (one charge, packed transfer).
   void own_probe_row(PlayerId p, ObjectId first_object, std::size_t n, BitRow out) {

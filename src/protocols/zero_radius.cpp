@@ -115,6 +115,8 @@ BitVector adopt(PlayerId p, std::span<const ObjectId> objects,
     if (probed.get(coord)) {
       bit = pvalue.get(coord);
     } else {
+      // colscore-lint: allow(CL003) adaptive: the eliminating coordinate is
+      // picked from the survivor set of the previous answer
       bit = ctx.env.own_probe(p, objects[coord]);
       ++probes_used;
       probed.set(coord, true);

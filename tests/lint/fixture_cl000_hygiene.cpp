@@ -1,0 +1,27 @@
+// lint-fixture-as: src/sim/fixture_hygiene.cpp
+// CL000: the suppression mechanism itself is linted -- malformed allow()
+// comments and suppressions that no longer match anything are diagnostics,
+// and lint hygiene cannot itself be suppressed.
+#include <cstdlib>
+
+namespace colscore {
+
+std::uint64_t fixture_suppression_hygiene(std::uint64_t seed) {
+  // colscore-lint: allow(CL005)
+  std::uint64_t v = static_cast<std::uint64_t>(rand());  // reasonless: fires
+  // colscore-lint: allow(CL999) rule id does not exist
+  v ^= seed;
+  // colscore-lint: allow() nothing listed
+  v += 1;
+  // colscore-lint: allow(CL000) trying to silence the lint police
+  v += 2;
+  // colscore-lint: disable CL005 wrong verb
+  v += 3;
+  // colscore-lint: allow(CL006) stale: no raw thread on this line
+  v += 4;
+  // colscore-lint: allow(CL005) fixture: deliberate libc rand comparison
+  v += static_cast<std::uint64_t>(rand());  // suppressed: fine
+  return v;
+}
+
+}  // namespace colscore

@@ -1,0 +1,17 @@
+// lint-fixture-as: src/protocols/fixture_probe.cpp
+// CL002: the removed uint8-out batch probes must not reappear, under any
+// spelling (declaration, call, or qualified mention).
+#include "src/board/probe_oracle.hpp"
+
+namespace colscore {
+
+void fixture_deprecated_calls(ProbeOracle& oracle, ProtocolEnv& env,
+                              std::span<const ObjectId> slate,
+                              std::span<std::uint8_t> out) {
+  oracle.probe_many(0, slate, out);    // VIOLATION
+  env.own_probe_many(1, slate, out);   // VIOLATION
+  BitVector bits(slate.size());
+  env.own_probe_bits(1, slate, bits);  // the sanctioned form: fine
+}
+
+}  // namespace colscore

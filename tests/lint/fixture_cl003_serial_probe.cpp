@@ -1,0 +1,32 @@
+// lint-fixture-as: src/protocols/fixture_serial.cpp
+// CL003: single probes inside loops are only legal for genuinely adaptive
+// elimination, and then only with a reasoned suppression.
+#include "src/protocols/env.hpp"
+
+namespace colscore {
+
+void fixture_serial_loops(ProtocolEnv& env, ProbeOracle& oracle,
+                          std::span<const ObjectId> slate, BitRow out) {
+  for (std::size_t i = 0; i < slate.size(); ++i)
+    out.set(i, env.own_probe(0, slate[i]));            // VIOLATION: known slate
+
+  std::size_t coord = 0;
+  while (coord < slate.size()) {
+    const bool bit = oracle.probe(0, slate[coord]);    // VIOLATION (unsuppressed)
+    coord = bit ? coord + 2 : coord + 1;
+  }
+
+  std::size_t pos = 0;
+  while (pos < slate.size()) {
+    // colscore-lint: allow(CL003) adaptive: the next coordinate depends on
+    // the answer just read
+    const bool bit = env.own_probe(0, slate[pos]);     // suppressed
+    pos = bit ? pos + 2 : pos + 1;
+  }
+
+  env.own_probe_bits(0, slate, out);  // batched: fine
+  const bool single = env.own_probe(0, slate.front());  // not in a loop: fine
+  (void)single;
+}
+
+}  // namespace colscore

@@ -1,0 +1,19 @@
+// lint-fixture-as: src/protocols/fixture_distance.cpp
+// CL004: a file already on the hot path (it calls the early-exit/scratch
+// forms) must not mix in the full-scan or allocating distance calls.
+#include "src/common/bitvector.hpp"
+
+namespace colscore {
+
+bool fixture_mixed_distance(ConstBitRow a, ConstBitRow b,
+                            std::vector<std::size_t>& scratch) {
+  if (a.hamming_exceeds(b, 10)) return true;   // hot form: fine
+  const std::size_t d = a.hamming(b);          // VIOLATION: full scan
+  a.diff_positions_into(b, scratch);           // hot form: fine
+  auto positions = a.diff_positions(b);        // VIOLATION: allocates
+  // colscore-lint: allow(CL004) fixture: exact count needed for a report
+  const std::size_t exact = a.hamming(b);      // suppressed
+  return d + positions.size() + exact > 0;
+}
+
+}  // namespace colscore

@@ -1,0 +1,26 @@
+// lint-fixture-as: src/model/fixture_random.cpp
+// CL005: ambient entropy, stdlib RNG facilities, and raw clock reads break
+// fixed-seed reproducibility; everything derives from Rng/mix_keys + Timer.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+
+#include "src/common/rng.hpp"
+
+namespace colscore {
+
+std::uint64_t fixture_ambient_randomness(std::uint64_t seed) {
+  std::random_device entropy;                        // VIOLATION
+  std::mt19937_64 engine(seed);                      // VIOLATION
+  std::uniform_int_distribution<int> dist(0, 9);     // VIOLATION
+  const int legacy = rand();                         // VIOLATION
+  const auto t0 = std::chrono::steady_clock::now();  // VIOLATION
+  Rng rng(mix_keys(seed, 0x5eedULL));                // sanctioned: fine
+  // colscore-lint: allow(CL005) fixture: comparing against libc rand here
+  const int compared = rand();                       // suppressed
+  (void)entropy; (void)dist; (void)t0;
+  return rng.next() + static_cast<std::uint64_t>(legacy + compared) +
+         engine();
+}
+
+}  // namespace colscore

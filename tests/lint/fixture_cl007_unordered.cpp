@@ -1,0 +1,31 @@
+// lint-fixture-as: src/sim/fixture_unordered.cpp
+// CL007: hash iteration order is ABI-dependent; if it feeds output the
+// fixed-seed goldens stop being byte-identical across toolchains.
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace colscore {
+
+struct FixtureIndex {
+  std::unordered_map<std::string, std::uint64_t> counts;
+};
+
+std::uint64_t fixture_unordered_iteration(const FixtureIndex& index) {
+  std::uint64_t total = 0;
+  for (const auto& [key, value] : index.counts) {  // VIOLATION
+    total += value;
+  }
+  std::unordered_map<int, int> local;
+  for (auto it = local.begin(); it != local.end(); ++it)  // VIOLATION
+    total += it->second;
+  // colscore-lint: allow(CL007) fixture: result is a sum, order-insensitive
+  for (const auto& [key, value] : index.counts) total += value;  // suppressed
+  std::map<std::string, std::uint64_t> ordered;
+  ordered.emplace("total", total);
+  for (const auto& [key, value] : ordered) total += value;  // ordered: fine
+  return total;
+}
+
+}  // namespace colscore

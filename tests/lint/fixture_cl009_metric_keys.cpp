@@ -1,0 +1,23 @@
+// lint-fixture-as: src/protocols/fixture_metrics.cpp
+// CL009: metric/param keys must appear as string literals at the call site
+// so shadowing against the built-in columns is checkable without running
+// registration code.
+#include "src/sim/record.hpp"
+#include "src/sim/registry.hpp"
+
+namespace colscore {
+
+static const char* kRoundsKey = "rounds";
+
+void fixture_emit_keys(MetricEmitter& emit, const Scenario& scen) {
+  emit.u64(kRoundsKey, 3);                           // VIOLATION: named const
+  emit.f64(scen.extras.front().key, 0.5);            // VIOLATION: computed
+  const std::size_t n = scen.extra_size(kRoundsKey, 4);  // VIOLATION
+  emit.u64("rounds", 3);                             // literal: fine
+  emit.size("players", n);                           // literal: fine
+  // colscore-lint: allow(CL009) fixture: key forwarded verbatim from the
+  // scenario extras table, already literal at its declaration site
+  emit.string(kRoundsKey, "forwarded");              // suppressed
+}
+
+}  // namespace colscore

@@ -1,0 +1,21 @@
+// lint-fixture-as: src/sim/fixture_stdio.cpp
+// CL010: library code writing to stdout corrupts CSV piped from the CLI and
+// bypasses the sinks; diagnostics go through log.hpp.
+#include <cstdio>
+#include <iostream>
+
+#include "src/common/log.hpp"
+
+namespace colscore {
+
+void fixture_stdio(std::size_t rows) {
+  std::cout << "rows: " << rows << "\n";       // VIOLATION: corrupts CSV
+  printf("rows: %zu\n", rows);                 // VIOLATION
+  std::fprintf(stderr, "warning\n");           // VIOLATION
+  log_warn("rows=", rows);                     // sanctioned: fine
+  // colscore-lint: allow(CL010) fixture: interactive progress bar, written
+  // to the operator terminal on purpose
+  std::cerr << "[=====>    ]\r";               // suppressed
+}
+
+}  // namespace colscore

@@ -1,0 +1,332 @@
+"""colscore-lint engine: lexing, suppression parsing, and the rule protocol.
+
+The pass consumes the CMake compilation database for its file set and runs a
+set of named rules over a comment/string-stripped view of each translation
+unit.  Analysis is token-based and fully deterministic: the diagnostic stream
+for a given tree is byte-identical on every machine, which is what lets
+tests/lint/expected.txt be a golden file.  When the optional libclang Python
+bindings (clang.cindex) are importable the driver reports so in --version
+output and may use them for cross-checks, but no diagnostic ever depends on
+them -- CI images without libclang produce the same output.
+
+Suppression syntax (line-scoped, reason required):
+
+    some_call();  // colscore-lint: allow(CL003) adaptive: next coord depends
+                  //                                     on the last answer
+
+A comment that sits alone on its line covers the next line instead, so long
+statements can carry the suppression above them.  Several ids may be listed:
+``allow(CL003,CL005)``.  A suppression with an unknown rule id, a missing
+reason, or one that never matches a diagnostic is itself a diagnostic
+(CL000) -- stale suppressions rot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import re
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+# ---------------------------------------------------------------------------
+# diagnostics
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    path: str  # repo-relative path the diagnostic is reported at
+    line: int  # 1-based
+    col: int  # 1-based
+    rule_id: str  # "CL003"
+    slug: str  # "serial-probe-loop"
+    message: str
+    hint: str = ""
+
+    def render(self, with_hint: bool = True) -> str:
+        out = f"{self.path}:{self.line}:{self.col}: {self.rule_id} [{self.slug}] {self.message}"
+        if with_hint and self.hint:
+            out += f"\n    hint: {self.hint}"
+        return out
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule_id)
+
+
+# ---------------------------------------------------------------------------
+# lexer: strip comments and string contents, keep offsets identical
+# ---------------------------------------------------------------------------
+
+_SUPPRESS_RE = re.compile(
+    r"colscore-lint:\s*allow\(\s*([A-Za-z0-9_\s,]*?)\s*\)[ \t]*(.*)")
+
+
+@dataclasses.dataclass
+class Suppression:
+    line: int  # line the comment starts on
+    target_line: int  # line of code the suppression covers
+    ids: Tuple[str, ...]
+    reason: str
+    used: bool = False
+
+
+def _strip(text: str) -> Tuple[str, List[Tuple[int, str]]]:
+    """Returns (clean, comments).
+
+    ``clean`` has the same length and line structure as ``text`` but with
+    comments and the *contents* of string/char literals replaced by spaces
+    (delimiters are kept, so an empty literal is still ``""``).  ``comments``
+    is a list of (start_line, comment_text) pairs.
+    """
+    out = list(text)
+    comments: List[Tuple[int, str]] = []
+    i, n = 0, len(text)
+    line = 1
+    while i < n:
+        c = text[i]
+        if c == "\n":
+            line += 1
+            i += 1
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            start = i
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+            comments.append((line, text[start:i]))
+            continue
+        if c == "/" and i + 1 < n and text[i + 1] == "*":
+            start, start_line = i, line
+            i += 2
+            while i + 1 < n and not (text[i] == "*" and text[i + 1] == "/"):
+                if text[i] == "\n":
+                    line += 1
+                i += 1
+            i = min(i + 2, n)
+            comments.append((start_line, text[start:i]))
+            for j in range(start, i):
+                if text[j] != "\n":
+                    out[j] = " "
+            continue
+        if c == '"' and text[i - 1] == "R" and i + 1 < n and text[i + 1] == '"':
+            # Raw string R"delim(...)delim"
+            m = re.match(r'R"([^\s()\\]*)\(', text[i - 1:])
+            if m:
+                close = text.find(")" + m.group(1) + '"', i)
+                close = n if close == -1 else close + len(m.group(1)) + 2
+                for j in range(i + 1, close - 1):
+                    if text[j] == "\n":
+                        line += 1
+                    else:
+                        out[j] = " "
+                i = close
+                continue
+        if c == '"' or c == "'":
+            quote = c
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\" and i + 1 < n:
+                    out[i] = " "
+                    out[i + 1] = " "
+                    i += 2
+                    continue
+                if text[i] == "\n":  # unterminated; bail at newline
+                    break
+                out[i] = " "
+                i += 1
+            i += 1
+            continue
+        i += 1
+    return "".join(out), comments
+
+
+_TOKEN_RE = re.compile(r'[A-Za-z_]\w*|"[^"\n]*"|\'[^\'\n]*\'|\d[\w.]*|::|->|.')
+
+
+@dataclasses.dataclass(frozen=True)
+class Token:
+    text: str
+    line: int
+    col: int
+    offset: int
+
+    @property
+    def is_ident(self) -> bool:
+        return bool(re.match(r"[A-Za-z_]", self.text))
+
+    @property
+    def is_string(self) -> bool:
+        return self.text.startswith('"')
+
+
+class SourceFile:
+    """One linted file: cleaned text, token stream, and suppressions."""
+
+    def __init__(self, real_path: str, rel_path: str, text: str,
+                 known_ids: Set[str]):
+        self.real_path = real_path
+        self.path = rel_path  # diagnostics anchor here (repo-relative)
+        self.effective_path = rel_path  # scope checks use this (fixture alias)
+        self.raw = text
+        self.clean, self._comments = _strip(text)
+        self.lines = self.clean.split("\n")
+        self.suppressions: List[Suppression] = []
+        self.malformed: List[Tuple[int, str]] = []
+        self._parse_suppressions(known_ids)
+        self._tokens: Optional[List[Token]] = None
+
+    # -- tokens --------------------------------------------------------------
+
+    @property
+    def tokens(self) -> List[Token]:
+        if self._tokens is None:
+            starts = self._line_starts()
+            toks: List[Token] = []
+            for m in _TOKEN_RE.finditer(self.clean):
+                text = m.group(0)
+                if text.isspace():
+                    continue
+                line, col = self._locate(starts, m.start())
+                toks.append(Token(text, line, col, m.start()))
+            self._tokens = toks
+        return self._tokens
+
+    def raw_token(self, tok: Token) -> str:
+        """Original source text of ``tok`` (string literals keep their
+        contents here; in the cleaned view they are blanked)."""
+        return self.raw[tok.offset:tok.offset + len(tok.text)]
+
+    def _line_starts(self) -> List[int]:
+        starts = [0]
+        for i, c in enumerate(self.clean):
+            if c == "\n":
+                starts.append(i + 1)
+        return starts
+
+    @staticmethod
+    def _locate(starts: List[int], offset: int) -> Tuple[int, int]:
+        import bisect
+        idx = bisect.bisect_right(starts, offset) - 1
+        return idx + 1, offset - starts[idx] + 1
+
+    def line_col(self, offset: int) -> Tuple[int, int]:
+        return self._locate(self._line_starts(), offset)
+
+    def match_forward(self, offset: int, open_ch: str, close_ch: str) -> int:
+        """Offset just past the bracket matching ``open_ch`` at ``offset``."""
+        depth = 0
+        i = offset
+        n = len(self.clean)
+        while i < n:
+            c = self.clean[i]
+            if c == open_ch:
+                depth += 1
+            elif c == close_ch:
+                depth -= 1
+                if depth == 0:
+                    return i + 1
+            i += 1
+        return n
+
+    # -- suppressions --------------------------------------------------------
+
+    def _parse_suppressions(self, known_ids: Set[str]) -> None:
+        for start_line, comment in self._comments:
+            if "colscore-lint" not in comment:
+                continue
+            m = _SUPPRESS_RE.search(comment)
+            if not m:
+                self.malformed.append(
+                    (start_line, "colscore-lint comment is not of the form "
+                     "'colscore-lint: allow(CLxxx) reason'"))
+                continue
+            ids = tuple(x.strip() for x in m.group(1).split(",") if x.strip())
+            reason = m.group(2).strip().rstrip("*/").strip()
+            bad = [i for i in ids if i not in known_ids]
+            if not ids or bad:
+                self.malformed.append(
+                    (start_line,
+                     f"unknown rule id{'s' if len(bad) > 1 else ''} "
+                     f"{', '.join(bad) if bad else '(none given)'} in allow()"))
+                continue
+            if "CL000" in ids:
+                self.malformed.append(
+                    (start_line, "CL000 (lint hygiene) cannot be suppressed"))
+                continue
+            if len(reason) < 3:
+                self.malformed.append(
+                    (start_line,
+                     f"allow({','.join(ids)}) carries no reason -- every "
+                     "suppression must say why the rule does not apply"))
+                continue
+            self.suppressions.append(
+                Suppression(start_line, self._target_line(start_line), ids,
+                            reason))
+
+    def _target_line(self, start_line: int) -> int:
+        """The code line a suppression comment covers: its own line if it
+        shares it with code, else the next line that has any code (chained
+        comment-only and blank lines -- blank in the stripped view -- are
+        skipped, so a suppression can sit atop an explanatory comment)."""
+        if start_line <= len(self.lines) and self.lines[start_line - 1].strip():
+            return start_line
+        for line in range(start_line + 1, min(start_line + 25,
+                                              len(self.lines) + 1)):
+            if self.lines[line - 1].strip():
+                return line
+        return start_line
+
+    def allowed_ids(self, line: int) -> List[Suppression]:
+        """Suppressions covering ``line``."""
+        return [s for s in self.suppressions if s.target_line == line]
+
+
+# ---------------------------------------------------------------------------
+# rule protocol
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class Rule:
+    rule_id: str
+    slug: str
+    description: str
+    hint: str
+    check: Callable[[SourceFile, "LintContext"], Iterable[Diagnostic]]
+    # Path prefixes (repo-relative, '/'-separated) the rule applies to; empty
+    # means everywhere the driver scans.
+    scope: Tuple[str, ...] = ()
+    # Exact repo-relative paths exempt from the rule (the owning/defining
+    # files of the construct the rule polices).
+    exclude: Tuple[str, ...] = ()
+
+    def applies_to(self, path: str) -> bool:
+        if path in self.exclude:
+            return False
+        if not self.scope:
+            return True
+        return any(path.startswith(p) for p in self.scope)
+
+
+class LintContext:
+    """Shared, read-only facts rules may need (repo root, sibling files)."""
+
+    def __init__(self, root: str):
+        self.root = root
+        self._file_cache: Dict[str, Optional[str]] = {}
+
+    def read_repo_file(self, rel_path: str) -> Optional[str]:
+        if rel_path not in self._file_cache:
+            full = os.path.join(self.root, rel_path)
+            try:
+                with open(full, "r", encoding="utf-8", errors="replace") as f:
+                    self._file_cache[rel_path] = f.read()
+            except OSError:
+                self._file_cache[rel_path] = None
+        return self._file_cache[rel_path]
+
+
+def make_diag(rule: Rule, sf: SourceFile, line: int, col: int,
+              message: str) -> Diagnostic:
+    return Diagnostic(sf.path, line, col, rule.rule_id, rule.slug, message,
+                      rule.hint)

@@ -1,0 +1,210 @@
+"""CL005/CL006/CL007: schedule-independent determinism hygiene.
+
+The fixed-seed goldens (test_determinism_csv, test_sinks) are byte-identical
+under any thread count because (a) all randomness flows from seeds through
+the repo's Rng/mix_keys, (b) all parallelism goes through ThreadPool with
+per-index keys, and (c) nothing emits in the iteration order of an unordered
+container.  These rules ban the constructs that break each leg.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from typing import List, Set
+
+from engine import Diagnostic, LintContext, Rule, SourceFile, make_diag
+
+# -- CL005: ambient randomness / wall-clock reads -----------------------------
+
+# Bare identifiers that are banned outright (library entropy/clock sources
+# and the stdlib distributions, whose output is implementation-defined --
+# cross-platform nondeterminism even from a fixed seed).
+_BANNED_IDENTS = {
+    "random_device", "gettimeofday", "clock_gettime", "timespec_get",
+    "mt19937", "mt19937_64", "default_random_engine", "minstd_rand",
+    "uniform_int_distribution", "uniform_real_distribution",
+    "normal_distribution", "bernoulli_distribution", "poisson_distribution",
+    "shuffle", "random_shuffle",
+}
+# Banned only as calls (too common as variable names to ban bare).
+_BANNED_CALLS = {"rand", "srand", "drand48", "lrand48", "time"}
+
+_CLOCK_QUALIFIERS = re.compile(r"clock$")
+
+
+def _check_randomness(sf: SourceFile, ctx: LintContext) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    toks = sf.tokens
+    for i, tok in enumerate(toks):
+        if not tok.is_ident:
+            continue
+        nxt = toks[i + 1].text if i + 1 < len(toks) else ""
+        prv = toks[i - 1].text if i > 0 else ""
+        if tok.text in _BANNED_IDENTS:
+            what = "entropy/clock source" \
+                if tok.text in ("random_device", "gettimeofday",
+                                "clock_gettime", "timespec_get") \
+                else "implementation-defined stdlib RNG facility"
+            out.append(make_diag(
+                RULE_RANDOMNESS, sf, tok.line, tok.col,
+                f"'{tok.text}' is a banned {what}; all randomness must "
+                "derive from scenario seeds via Rng/mix_keys"))
+        elif tok.text in _BANNED_CALLS and nxt == "(" and prv not in (".", "->"):
+            out.append(make_diag(
+                RULE_RANDOMNESS, sf, tok.line, tok.col,
+                f"'{tok.text}()' is ambient (seed- and schedule-dependent) "
+                "state; use Rng/mix_keys for randomness and Timer for time"))
+        elif tok.text == "now" and prv == "::" and i >= 2 \
+                and toks[i - 2].is_ident \
+                and _CLOCK_QUALIFIERS.search(toks[i - 2].text):
+            out.append(make_diag(
+                RULE_RANDOMNESS, sf, tok.line, tok.col,
+                f"raw '{toks[i - 2].text}::now()' outside timer.hpp; wall "
+                "time must go through Timer so the wall column stays the "
+                "only schedule-dependent output"))
+    return out
+
+
+RULE_RANDOMNESS = Rule(
+    rule_id="CL005",
+    slug="ambient-randomness",
+    description="No entropy sources, stdlib RNG facilities, or raw clock "
+                "reads outside src/common/timer.hpp -- randomness flows "
+                "from seeds (Rng/mix_keys), wall time through Timer.",
+    hint="Rng(mix_keys(seed, ...)) for randomness; colscore::Timer for "
+         "wall time (its value only ever lands in the opt-in wall column)",
+    check=_check_randomness,
+    scope=("src/", "tools/"),
+    exclude=("src/common/timer.hpp",),
+)
+
+# -- CL006: raw threads -------------------------------------------------------
+
+
+def _check_threads(sf: SourceFile, ctx: LintContext) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    toks = sf.tokens
+    for i, tok in enumerate(toks):
+        if not tok.is_ident:
+            continue
+        if tok.text in ("thread", "jthread", "async") and i >= 2 \
+                and toks[i - 1].text == "::" and toks[i - 2].text == "std":
+            out.append(make_diag(
+                RULE_THREADS, sf, tok.line, tok.col,
+                f"raw std::{tok.text} outside thread_pool; parallelism must "
+                "go through ThreadPool/parallel_for so per-index work stays "
+                "schedule-independent and workspaces stay per-worker"))
+        elif tok.text == "pthread_create":
+            out.append(make_diag(
+                RULE_THREADS, sf, tok.line, tok.col,
+                "pthread_create outside thread_pool; use "
+                "ThreadPool/parallel_for"))
+    return out
+
+
+RULE_THREADS = Rule(
+    rule_id="CL006",
+    slug="raw-thread",
+    description="std::thread/std::async/pthread_create only inside "
+                "src/common/thread_pool.{hpp,cpp}; everything else uses "
+                "ThreadPool/parallel_for.",
+    hint="parallel_for derives per-index RNG streams from stable keys; a "
+         "raw thread has no workspace and no seed discipline",
+    check=_check_threads,
+    scope=("src/", "tools/"),
+    exclude=("src/common/thread_pool.hpp", "src/common/thread_pool.cpp"),
+)
+
+# -- CL007: iteration over unordered containers -------------------------------
+
+_UNORDERED = ("unordered_map", "unordered_set", "unordered_multimap",
+              "unordered_multiset")
+
+
+def _unordered_names(sf: SourceFile, ctx: LintContext) -> Set[str]:
+    """Names declared with an unordered container type, in this file and its
+    sibling header (members declared in foo.hpp, iterated in foo.cpp)."""
+    texts = [sf.clean]
+    if sf.effective_path.endswith(".cpp"):
+        sibling = sf.effective_path[:-4] + ".hpp"
+        raw = ctx.read_repo_file(sibling)
+        if raw is not None:
+            texts.append(re.sub(r"//[^\n]*", "", raw))
+    names: Set[str] = set()
+    for text in texts:
+        for m in re.finditer(r"\bunordered_(?:multi)?(?:map|set)\s*<", text):
+            i, depth = m.end() - 1, 0
+            while i < len(text):
+                if text[i] == "<":
+                    depth += 1
+                elif text[i] == ">":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                i += 1
+            tail = text[i + 1:i + 120]
+            dm = re.match(r"[\s&*]*([A-Za-z_]\w*)\s*[;={(,)]", tail)
+            if dm:
+                names.add(dm.group(1))
+    return names
+
+
+def _check_unordered_iteration(sf: SourceFile,
+                               ctx: LintContext) -> List[Diagnostic]:
+    names = _unordered_names(sf, ctx)
+    if not names:
+        return []
+    out: List[Diagnostic] = []
+    toks = sf.tokens
+    for i, tok in enumerate(toks):
+        # Range-for whose sequence expression ends in an unordered name.
+        if tok.text == "for" and i + 1 < len(toks) and toks[i + 1].text == "(":
+            close_off = sf.match_forward(toks[i + 1].offset, "(", ")")
+            inner = [t for t in toks
+                     if toks[i + 1].offset < t.offset < close_off - 1]
+            depth, colon = 0, None
+            for t in inner:
+                if t.text == "(":
+                    depth += 1
+                elif t.text == ")":
+                    depth -= 1
+                elif t.text == ":" and depth == 0:
+                    colon = t
+                    break
+            if colon is None:
+                continue
+            seq = [t for t in inner if t.offset > colon.offset and t.is_ident]
+            if seq and seq[-1].text in names:
+                out.append(make_diag(
+                    RULE_UNORDERED, sf, tok.line, tok.col,
+                    f"iteration order over unordered container "
+                    f"'{seq[-1].text}' is nondeterministic; anything that "
+                    "feeds output or protocol decisions must use a sorted "
+                    "or insertion-ordered structure"))
+        # Explicit iterator walks: name.begin() / name.cbegin().
+        elif tok.is_ident and tok.text in ("begin", "cbegin") \
+                and i >= 2 and toks[i - 1].text in (".", "->") \
+                and toks[i - 2].text in names \
+                and i + 1 < len(toks) and toks[i + 1].text == "(":
+            out.append(make_diag(
+                RULE_UNORDERED, sf, tok.line, tok.col,
+                f"iterator walk over unordered container "
+                f"'{toks[i - 2].text}' is nondeterministic; sort or "
+                "restructure before it feeds output"))
+    return out
+
+
+RULE_UNORDERED = Rule(
+    rule_id="CL007",
+    slug="unordered-iteration",
+    description="No iteration over unordered containers in library code -- "
+                "hash order is ABI-dependent and would leak into sink/CSV "
+                "output or protocol decisions.",
+    hint="keep a parallel insertion-order vector (the bulletin board's "
+         "bucket pattern) or sort before emitting",
+    check=_check_unordered_iteration,
+    scope=("src/",),
+)
+
+RULES = [RULE_RANDOMNESS, RULE_THREADS, RULE_UNORDERED]

@@ -1,0 +1,53 @@
+"""CL010: no direct stdio in library code.
+
+Library code (src/) reports through src/common/log.hpp or streams rows
+through a ResultSink; a stray std::cout in a protocol corrupts CSV piped to
+stdout and is invisible to the sinks.  The CLI and tests print freely.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from engine import Diagnostic, LintContext, Rule, SourceFile, make_diag
+
+_STREAMS = {"cout", "cerr", "clog"}
+_CALLS = {"printf", "fprintf", "puts", "fputs", "putchar", "vprintf"}
+
+
+def _check(sf: SourceFile, ctx: LintContext) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    toks = sf.tokens
+    for i, tok in enumerate(toks):
+        if not tok.is_ident:
+            continue
+        if tok.text in _STREAMS and i >= 2 and toks[i - 1].text == "::" \
+                and toks[i - 2].text == "std":
+            out.append(make_diag(
+                RULE, sf, tok.line, tok.col,
+                f"std::{tok.text} in library code; report through "
+                "log_warn()/log.hpp or stream rows through a ResultSink"))
+        elif tok.text in _CALLS and i + 1 < len(toks) \
+                and toks[i + 1].text == "(" \
+                and (i == 0 or toks[i - 1].text not in (".", "->")):
+            out.append(make_diag(
+                RULE, sf, tok.line, tok.col,
+                f"{tok.text}() in library code; report through "
+                "log_warn()/log.hpp or stream rows through a ResultSink"))
+    return out
+
+
+RULE = Rule(
+    rule_id="CL010",
+    slug="stdio-in-library",
+    description="src/ must not write to stdout/stderr directly -- logging "
+                "goes through log.hpp, result rows through ResultSink.",
+    hint="log_warn()/log_info() for diagnostics; the stdout CSV path lives "
+         "in src/sim/sink.cpp on purpose",
+    check=_check,
+    scope=("src/",),
+    exclude=("src/common/log.hpp", "src/common/log.cpp",
+             "src/common/assert.hpp", "src/sim/sink.cpp"),
+)
+
+RULES = [RULE]

@@ -1,0 +1,160 @@
+"""CL002/CL003/CL004: probe-pipeline API discipline.
+
+The probe pipeline (ROADMAP "Probe pipeline + run workspaces") has exactly
+three sanctioned read shapes: probe_row for contiguous ranges, probe_gather /
+own_probe_bits for slates known up front, and single probe()/own_probe()
+only inside genuinely adaptive loops.  These rules keep the next perf PR
+from quietly reintroducing the serial forms the pipeline replaced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from engine import Diagnostic, LintContext, Rule, SourceFile, make_diag
+
+# -- CL002: the deprecated uint8-out batch forms are gone ---------------------
+
+_DEPRECATED = {
+    "probe_many": "ProbeOracle::probe_row / ProbeOracle::probe_gather",
+    "own_probe_many": "ProtocolEnv::own_probe_row / ProtocolEnv::own_probe_bits",
+}
+
+
+def _check_deprecated(sf: SourceFile, ctx: LintContext) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    for tok in sf.tokens:
+        if tok.is_ident and tok.text in _DEPRECATED:
+            out.append(make_diag(
+                RULE_DEPRECATED, sf, tok.line, tok.col,
+                f"'{tok.text}' was removed (deprecated in PR 5); use "
+                f"{_DEPRECATED[tok.text]}"))
+    return out
+
+
+RULE_DEPRECATED = Rule(
+    rule_id="CL002",
+    slug="deprecated-probe-api",
+    description="The removed uint8-out batch probes (probe_many / "
+                "own_probe_many) must not reappear.",
+    hint="the BitRow forms carry identical charge semantics without the "
+         "per-bit unpack: probe_row / probe_gather / own_probe_bits",
+    check=_check_deprecated,
+)
+
+# -- CL003: no serial probe loops ---------------------------------------------
+
+
+def _loop_body_ranges(sf: SourceFile) -> List[Tuple[int, int]]:
+    """(start, end) clean-text offsets of every for/while loop body."""
+    ranges: List[Tuple[int, int]] = []
+    toks = sf.tokens
+    for i, tok in enumerate(toks):
+        if tok.text not in ("for", "while"):
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        header_end = sf.match_forward(toks[i + 1].offset, "(", ")")
+        # Body: a braced block, or a single statement up to the next ';'.
+        j = header_end
+        clean = sf.clean
+        while j < len(clean) and clean[j].isspace():
+            j += 1
+        if j < len(clean) and clean[j] == "{":
+            ranges.append((j, sf.match_forward(j, "{", "}")))
+        else:
+            end = clean.find(";", j)
+            ranges.append((j, len(clean) if end == -1 else end + 1))
+    return ranges
+
+
+def _probe_calls(sf: SourceFile) -> List[Tuple[int, int, int, str]]:
+    """(offset, line, col, name) of .probe( / ->probe( / own_probe( calls."""
+    calls = []
+    toks = sf.tokens
+    for i, tok in enumerate(toks):
+        if not tok.is_ident:
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        if tok.text == "own_probe":
+            calls.append((tok.offset, tok.line, tok.col, tok.text))
+        elif tok.text == "probe" and i > 0 and toks[i - 1].text in (".", "->"):
+            calls.append((tok.offset, tok.line, tok.col, tok.text))
+    return calls
+
+
+def _check_serial_loop(sf: SourceFile, ctx: LintContext) -> List[Diagnostic]:
+    calls = _probe_calls(sf)
+    if not calls:
+        return []
+    ranges = _loop_body_ranges(sf)
+    out: List[Diagnostic] = []
+    for offset, line, col, name in calls:
+        if any(lo <= offset < hi for lo, hi in ranges):
+            out.append(make_diag(
+                RULE_SERIAL_LOOP, sf, line, col,
+                f"serial {name}() call inside a loop; a slate known up front "
+                "must be charged as one batch (probe_row / probe_gather / "
+                "own_probe_bits)"))
+    return out
+
+
+RULE_SERIAL_LOOP = Rule(
+    rule_id="CL003",
+    slug="serial-probe-loop",
+    description="Loops may not issue single probe()/own_probe() calls unless "
+                "genuinely adaptive (each coordinate depends on the previous "
+                "answer) -- then suppress with the reason.",
+    hint="batch the slate; if the loop is adaptive, add "
+         "'// colscore-lint: allow(CL003) adaptive: <why>'",
+    check=_check_serial_loop,
+    scope=("src/",),
+)
+
+# -- CL004: early-exit/scratch forms, not the allocating ones -----------------
+
+_BULK = ("hamming_exceeds", "diff_positions_into")
+_SLOW = ("hamming", "diff_positions")
+
+
+def _check_slow_distance(sf: SourceFile, ctx: LintContext) -> List[Diagnostic]:
+    has_bulk = any(t.is_ident and t.text in _BULK for t in sf.tokens)
+    if not has_bulk:
+        return []
+    out: List[Diagnostic] = []
+    toks = sf.tokens
+    for i, tok in enumerate(toks):
+        if not (tok.is_ident and tok.text in _SLOW):
+            continue
+        if i == 0 or toks[i - 1].text not in (".", "->"):
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        alt = "hamming_exceeds(other, tau)" if tok.text == "hamming" \
+            else "diff_positions_into(other, out)"
+        out.append(make_diag(
+            RULE_SLOW_DISTANCE, sf, tok.line, tok.col,
+            f"'{tok.text}()' in a file that already uses the hot forms; "
+            f"use {alt} here too (early exit / caller scratch)"))
+    return out
+
+
+RULE_SLOW_DISTANCE = Rule(
+    rule_id="CL004",
+    slug="slow-distance-call",
+    description="Files on the hot path (they call hamming_exceeds / "
+                "diff_positions_into) must not also use the full-scan or "
+                "allocating distance forms.",
+    hint="hamming_exceeds early-exits at the threshold; "
+         "diff_positions_into reuses caller scratch",
+    check=_check_slow_distance,
+    scope=("src/",),
+    exclude=(
+        "src/common/bitvector.hpp", "src/common/bitvector.cpp",
+        "src/common/bitkernels.hpp", "src/common/bitmatrix.hpp",
+        "src/common/bitmatrix.cpp",
+    ),
+)
+
+RULES = [RULE_DEPRECATED, RULE_SERIAL_LOOP, RULE_SLOW_DISTANCE]

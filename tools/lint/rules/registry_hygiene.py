@@ -1,0 +1,107 @@
+"""CL008/CL009: registry registration hygiene.
+
+Registration is the whole integration surface for new scenarios, so the
+linter polices the two properties the runtime cannot check cheaply: every
+entry ships a non-empty one-line description (it IS the --list-* docs), and
+metric/param keys are string literals, so shadowing against the built-in
+columns can be cross-checked offline without executing registration code.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from engine import Diagnostic, LintContext, Rule, SourceFile, make_diag
+
+# -- CL008: add()/replace() must carry a description --------------------------
+
+
+def _check_add_description(sf: SourceFile, ctx: LintContext) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    toks = sf.tokens
+    for i, tok in enumerate(toks):
+        if not (tok.is_ident and tok.text in ("add", "replace")):
+            continue
+        if i == 0 or toks[i - 1].text not in (".", "->"):
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        # add("name", { <description>, ... }) -- only braced entry literals
+        # are checkable lexically; entries passed as variables are validated
+        # at runtime by Registry::validate_entry.
+        if i + 2 >= len(toks) or not toks[i + 2].is_string:
+            continue
+        name = sf.raw_token(toks[i + 2])
+        if i + 4 >= len(toks) or toks[i + 3].text != "," \
+                or toks[i + 4].text != "{":
+            continue
+        first = toks[i + 5] if i + 5 < len(toks) else None
+        if first is not None and first.text == '""':
+            out.append(make_diag(
+                RULE_DESCRIPTION, sf, first.line, first.col,
+                f"registry entry {name} is registered with an empty "
+                "description; the description is the --list-* documentation"))
+        elif first is not None and first.text == "}":
+            out.append(make_diag(
+                RULE_DESCRIPTION, sf, first.line, first.col,
+                f"registry entry {name} is registered with no description"))
+    return out
+
+
+RULE_DESCRIPTION = Rule(
+    rule_id="CL008",
+    slug="registry-description",
+    description="Registry add()/replace() calls must pass a non-empty "
+                "one-line description (it is the --list-* output).",
+    hint="one line, lowercase, what the entry simulates -- e.g. "
+         "\"ring of overlapping taste groups\"",
+    check=_check_add_description,
+)
+
+# -- CL009: metric/param keys are string literals -----------------------------
+
+# Emitter methods (receiver must literally be an emitter object) and the
+# typed Scenario::extra_* getters.
+_EMITTER_METHODS = {"u64", "size", "f64", "boolean", "string"}
+_EMITTER_RECEIVERS = {"emit", "emitter"}
+_EXTRA_GETTERS = {"extra_size", "extra_u64", "extra_double", "extra_bool",
+                  "extra_string"}
+
+
+def _check_literal_keys(sf: SourceFile, ctx: LintContext) -> List[Diagnostic]:
+    out: List[Diagnostic] = []
+    toks = sf.tokens
+    for i, tok in enumerate(toks):
+        if not tok.is_ident or i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        if i == 0 or toks[i - 1].text not in (".", "->"):
+            continue
+        is_emit = tok.text in _EMITTER_METHODS and i >= 2 \
+            and toks[i - 2].text in _EMITTER_RECEIVERS
+        is_extra = tok.text in _EXTRA_GETTERS
+        if not (is_emit or is_extra):
+            continue
+        first = toks[i + 2] if i + 2 < len(toks) else None
+        if first is None or first.text == ")":
+            continue  # zero-arg call; not a keyed access
+        if not first.is_string:
+            out.append(make_diag(
+                RULE_LITERAL_KEYS, sf, first.line, first.col,
+                f"key passed to {tok.text}() must be a string literal so "
+                "declared metric/param keys can be cross-checked offline"))
+    return out
+
+
+RULE_LITERAL_KEYS = Rule(
+    rule_id="CL009",
+    slug="literal-metric-key",
+    description="Keys passed to MetricEmitter methods and Scenario::extra_* "
+                "getters must be string literals (offline shadowing "
+                "cross-checks need the key text).",
+    hint="spell the key inline; if several call sites share it, a "
+         "constexpr const char* kKey = \"...\" still defeats the offline "
+         "check -- duplicate the literal",
+    check=_check_literal_keys,
+)
+
+RULES = [RULE_DESCRIPTION, RULE_LITERAL_KEYS]
