@@ -3,12 +3,22 @@
 // (planted groups with intra-cluster spread, far inter-cluster distances —
 // the regime where the early-exit Hamming kernel and pair symmetry pay).
 //
-// The acceptance configuration for PR 2 is n=1024, |S|=4096 single-thread
-// (BM_GraphPlusCluster/1024); tools/bench_to_json.py distills the JSON
-// output into BENCH_pr2.json. Build Release (-O3) for recorded numbers.
+// Two pinned regimes since PR 7:
+//   * dense (n<=1024, 8 fat clusters, tau=208) — the PR 2 acceptance grid;
+//     auto keeps the BitMatrix backend here.
+//   * sparse (n=4096, 256 thin clusters, tau=96, expected degree ~16) — the
+//     paper's sublinear-probe regime; auto picks the CSR backend, and the
+//     *Baseline variant pins scalar+dense to measure the PR 7 speedup
+//     (BENCH_pr7.json acceptance: >= 2x on BM_SparseGraphPlusCluster).
+// Every benchmark labels the SIMD tier it actually dispatched and the
+// resolved graph backend, so BENCH_*.json trajectories are comparable
+// across machines. Build Release (-O3) for recorded numbers.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "src/common/bitmatrix.hpp"
+#include "src/common/simd.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/protocols/neighbor_graph.hpp"
 
@@ -16,40 +26,57 @@ namespace colscore {
 namespace {
 
 constexpr std::size_t kDim = 4096;     // |S|: sampled coordinates per z-vector
+
+// Dense regime (the PR 2 acceptance grid).
 constexpr std::size_t kGroups = 8;     // B planted clusters
 constexpr std::size_t kSpread = 40;    // intra-cluster flip count
 constexpr std::size_t kTau = 208;      // ~graph_tau_c * ln n edge threshold
 
-BitMatrix make_z_family(std::size_t n, std::uint64_t seed) {
+// Sparse regime (PR 7): thin clusters, tight threshold — expected degree
+// ~n/kSparseGroups - 1 ~ 15, edge density ~1/256, far under the CSR cutoff.
+constexpr std::size_t kSparseN = 4096;
+constexpr std::size_t kSparseGroups = 256;
+constexpr std::size_t kSparseTau = 96;
+
+BitMatrix make_z_family(std::size_t n, std::size_t groups, std::uint64_t seed) {
   Rng rng(seed);
   std::vector<BitVector> centers;
-  for (std::size_t g = 0; g < kGroups; ++g)
+  for (std::size_t g = 0; g < groups; ++g)
     centers.push_back(random_bitvector(kDim, rng));
   BitMatrix z(n, kDim);
   for (std::size_t i = 0; i < n; ++i) {
-    BitVector v = centers[i % kGroups];
+    BitVector v = centers[i % groups];
     v.flip_random(rng, kSpread);
     z.row(i) = v;
   }
   return z;
 }
 
-std::size_t min_cluster_for(std::size_t n) {
+std::size_t min_cluster_for(std::size_t n, std::size_t groups) {
   // (n/B) * (1 - cluster_slack) with the default slack of 1/3.
-  return std::max<std::size_t>(2, n / kGroups * 2 / 3);
+  return std::max<std::size_t>(2, n / groups * 2 / 3);
+}
+
+/// "tier=avx512 backend=csr" — the config label every benchmark reports.
+std::string config_label(GraphBackend resolved) {
+  return std::string("tier=") + simd::tier_name(simd::active_tier()) +
+         " backend=" + backend_name(resolved);
 }
 
 void BM_NeighborGraphBuild(benchmark::State& state) {
   ThreadPool::reset_global(1);
   const auto n = static_cast<std::size_t>(state.range(0));
-  const BitMatrix z = make_z_family(n, 42);
+  const BitMatrix z = make_z_family(n, kGroups, 42);
   std::size_t edges = 0;
+  GraphBackend resolved = GraphBackend::kAuto;
   for (auto _ : state) {
     const NeighborGraph graph(z, kTau);
+    resolved = graph.backend();
     edges = 0;
     for (PlayerId p = 0; p < n; ++p) edges += graph.degree(p);
     benchmark::DoNotOptimize(edges);
   }
+  state.SetLabel(config_label(resolved));
   state.counters["edges"] = static_cast<double>(edges);
   state.counters["pairs_per_s"] = benchmark::Counter(
       static_cast<double>(n) * static_cast<double>(n - 1) / 2.0,
@@ -60,14 +87,15 @@ void BM_NeighborGraphBuild(benchmark::State& state) {
 void BM_ClusterPlayers(benchmark::State& state) {
   ThreadPool::reset_global(1);
   const auto n = static_cast<std::size_t>(state.range(0));
-  const BitMatrix z = make_z_family(n, 42);
+  const BitMatrix z = make_z_family(n, kGroups, 42);
   const NeighborGraph graph(z, kTau);
   std::size_t clusters = 0;
   for (auto _ : state) {
-    const Clustering c = cluster_players(graph, min_cluster_for(n));
+    const Clustering c = cluster_players(graph, min_cluster_for(n, kGroups));
     clusters = c.clusters.size();
     benchmark::DoNotOptimize(clusters);
   }
+  state.SetLabel(config_label(graph.backend()));
   state.counters["clusters"] = static_cast<double>(clusters);
   ThreadPool::reset_global(0);
 }
@@ -75,18 +103,67 @@ void BM_ClusterPlayers(benchmark::State& state) {
 void BM_GraphPlusCluster(benchmark::State& state) {
   ThreadPool::reset_global(1);
   const auto n = static_cast<std::size_t>(state.range(0));
-  const BitMatrix z = make_z_family(n, 42);
+  const BitMatrix z = make_z_family(n, kGroups, 42);
+  GraphBackend resolved = GraphBackend::kAuto;
   for (auto _ : state) {
     const NeighborGraph graph(z, kTau);
-    const Clustering c = cluster_players(graph, min_cluster_for(n));
+    resolved = graph.backend();
+    const Clustering c = cluster_players(graph, min_cluster_for(n, kGroups));
     benchmark::DoNotOptimize(c.clusters.size());
   }
+  state.SetLabel(config_label(resolved));
   ThreadPool::reset_global(0);
+}
+
+/// The sparse pinned grid, parameterized by backend and (optionally) a
+/// forced scalar tier so the baseline measures the pre-PR 7 code path.
+void sparse_graph_plus_cluster(benchmark::State& state, GraphBackend backend,
+                               bool force_scalar) {
+  ThreadPool::reset_global(1);
+  const simd::Tier saved = simd::active_tier();
+  if (force_scalar) simd::set_tier(simd::Tier::kScalar);
+  const BitMatrix z = make_z_family(kSparseN, kSparseGroups, 42);
+  GraphBackend resolved = GraphBackend::kAuto;
+  std::size_t edges = 0;
+  for (auto _ : state) {
+    const NeighborGraph graph(z, kSparseTau, backend);
+    resolved = graph.backend();
+    edges = 0;
+    for (PlayerId p = 0; p < kSparseN; ++p) edges += graph.degree(p);
+    const Clustering c =
+        cluster_players(graph, min_cluster_for(kSparseN, kSparseGroups));
+    benchmark::DoNotOptimize(c.clusters.size());
+  }
+  state.SetLabel(config_label(resolved));
+  state.counters["edges"] = static_cast<double>(edges);
+  state.counters["pairs_per_s"] = benchmark::Counter(
+      static_cast<double>(kSparseN) * static_cast<double>(kSparseN - 1) / 2.0,
+      benchmark::Counter::kIsIterationInvariantRate);
+  simd::set_tier(saved);
+  ThreadPool::reset_global(0);
+}
+
+// Pre-PR 7 code path: scalar kernels + dense BitMatrix adjacency.
+void BM_SparseGraphPlusClusterBaseline(benchmark::State& state) {
+  sparse_graph_plus_cluster(state, GraphBackend::kDense, /*force_scalar=*/true);
+}
+
+// SIMD kernels but still the dense backend — isolates the CSR contribution.
+void BM_SparseGraphPlusClusterDense(benchmark::State& state) {
+  sparse_graph_plus_cluster(state, GraphBackend::kDense, /*force_scalar=*/false);
+}
+
+// The shipped configuration: auto backend (resolves to CSR here) + best tier.
+void BM_SparseGraphPlusCluster(benchmark::State& state) {
+  sparse_graph_plus_cluster(state, GraphBackend::kAuto, /*force_scalar=*/false);
 }
 
 BENCHMARK(BM_NeighborGraphBuild)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_ClusterPlayers)->Arg(256)->Arg(1024)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_GraphPlusCluster)->Arg(1024)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SparseGraphPlusClusterBaseline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SparseGraphPlusClusterDense)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SparseGraphPlusCluster)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace colscore

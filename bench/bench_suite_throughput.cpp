@@ -13,7 +13,9 @@
 #include <benchmark/benchmark.h>
 
 #include <sstream>
+#include <string>
 
+#include "src/common/simd.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/sim/sink.hpp"
 #include "src/sim/suite.hpp"
@@ -115,7 +117,35 @@ void BM_SuiteThroughputJsonlSink(benchmark::State& state) {
   ThreadPool::reset_global(0);
 }
 
+// Sparse-regime suite throughput (PR 7): large n, many thin planted
+// clusters — the configuration where calculate_preferences' neighbor graphs
+// auto-select the CSR backend and the SIMD tiers carry the pair sweep. Two
+// seeds keep the wall time sane (a single n=2048 run is seconds); the
+// label pins the dispatched tier so trajectories compare across machines.
+void BM_SuiteThroughputSparse(benchmark::State& state) {
+  ThreadPool::reset_global(1);
+  const std::vector<ScenarioSpec> specs = expand_grid(
+      ScenarioSpec::parse("workload=planted budget=8 dishonest=8 opt=0 "
+                          "n=2048 clusters=128"),
+      parse_grid("seed=1,2"));
+  SuiteOptions options;
+  options.threads = 1;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    SuiteRunner runner(options);
+    runs = runner.run(specs).size();
+    benchmark::DoNotOptimize(runs);
+  }
+  state.SetLabel(std::string("tier=") + simd::tier_name(simd::active_tier()));
+  state.counters["runs"] = static_cast<double>(runs);
+  state.counters["runs_per_s"] = benchmark::Counter(
+      static_cast<double>(runs), benchmark::Counter::kIsIterationInvariantRate);
+  ThreadPool::reset_global(0);
+}
+
 BENCHMARK(BM_SuiteThroughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SuiteThroughputSparse)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
 BENCHMARK(BM_SuiteThroughputReps)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SuiteThroughputJsonlSink)->Unit(benchmark::kMillisecond);
 

@@ -95,8 +95,7 @@ BitRow& BitRow::operator=(const ConstBitRow& src) noexcept {
 
 BitRow& BitRow::operator^=(ConstBitRow other) noexcept {
   CS_ASSERT(bits_ == other.size(), "xor: size mismatch");
-  const std::uint64_t* ow = other.words().data();
-  for (std::size_t i = 0; i < word_count(bits_); ++i) mwords_[i] ^= ow[i];
+  bitkernel::xor_into(mwords_, other.words().data(), word_count(bits_));
   return *this;
 }
 

@@ -1,0 +1,431 @@
+// SIMD kernel tiers + runtime CPU dispatch (see simd.hpp for the contract).
+//
+// Every intrinsic in the repo lives in this file. The AVX paths are built
+// with per-function target attributes, so the translation unit compiles with
+// the project's baseline flags and the binary still runs on machines without
+// the features — the dispatcher only ever installs a table the CPU (and the
+// operating system's xsave state) actually supports.
+//
+// Result-identical by construction: the vector bulk loops reduce exactly the
+// same XOR+popcount terms as the scalar forms, remainders go through the
+// shared scalar tail helpers in bitkernel::scalar, and the early exit of
+// hamming_exceeds only moves *when* the scan stops, never the returned bool.
+// tests/test_simd.cpp cross-checks every tier against the scalar reference.
+
+#include "src/common/simd.hpp"
+
+#include <cstring>
+
+#include "src/common/bitkernels.hpp"
+#include "src/common/log.hpp"
+
+#if defined(__GNUC__) && defined(__x86_64__)
+#define COLSCORE_SIMD_X86 1
+#include <cpuid.h>
+#include <immintrin.h>
+// _mm512_reduce_add_epi64 expands through _mm256_undefined_si256, whose
+// deliberately-uninitialized value GCC 12 flags at every use site.
+#pragma GCC diagnostic ignored "-Wuninitialized"
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#else
+#define COLSCORE_SIMD_X86 0
+#endif
+
+namespace colscore::simd {
+
+namespace {
+
+using bitkernel::kWordBits;
+using bitkernel::low_mask;
+using bitkernel::word_count;
+
+#if COLSCORE_SIMD_X86
+
+// ---- AVX2 tier --------------------------------------------------------------
+
+/// Per-lane popcount of one 256-bit vector via the nibble LUT + psadbw trick:
+/// returns four 64-bit partial sums.
+__attribute__((target("avx2"))) inline __m256i popcnt256(__m256i v) noexcept {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nib = _mm256_set1_epi8(0x0f);
+  const __m256i lo = _mm256_and_si256(v, nib);
+  const __m256i hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), nib);
+  const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                      _mm256_shuffle_epi8(lut, hi));
+  return _mm256_sad_epu8(cnt, _mm256_setzero_si256());
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t hsum256(__m256i v) noexcept {
+  const __m128i s = _mm_add_epi64(_mm256_castsi256_si128(v),
+                                  _mm256_extracti128_si256(v, 1));
+  return static_cast<std::uint64_t>(_mm_cvtsi128_si64(s)) +
+         static_cast<std::uint64_t>(_mm_extract_epi64(s, 1));
+}
+
+/// Harley-Seal carry-save adder step: (h, l) = full-adder(a, b, c).
+__attribute__((target("avx2"))) inline void csa256(__m256i& h, __m256i& l,
+                                                   __m256i a, __m256i b,
+                                                   __m256i c) noexcept {
+  const __m256i u = _mm256_xor_si256(a, b);
+  h = _mm256_or_si256(_mm256_and_si256(a, b), _mm256_and_si256(u, c));
+  l = _mm256_xor_si256(u, c);
+}
+
+/// Harley-Seal popcount over 8-vector (32-word) blocks: the carry-save tree
+/// defers the LUT popcount to one eighth of the loads, so the bulk loop is
+/// mostly cheap boolean ops. Remainder vectors go through popcnt256, the
+/// word-level remainder through the shared scalar tail.
+__attribute__((target("avx2"))) inline __m256i load256(
+    const std::uint64_t* p) noexcept {
+  return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+}
+
+__attribute__((target("avx2"))) inline __m256i load_xor256(
+    const std::uint64_t* a, const std::uint64_t* b) noexcept {
+  return _mm256_xor_si256(load256(a), load256(b));
+}
+
+__attribute__((target("avx2"))) std::size_t popcount_avx2(
+    const std::uint64_t* w, std::size_t words) noexcept {
+  __m256i total = _mm256_setzero_si256();
+  __m256i ones = _mm256_setzero_si256();
+  __m256i twos = _mm256_setzero_si256();
+  __m256i fours = _mm256_setzero_si256();
+  std::size_t i = 0;
+  __m256i tA, tB, fA;  // carry outputs of the adder tree
+  for (; i + 32 <= words; i += 32) {
+    csa256(tA, ones, ones, load256(w + i), load256(w + i + 4));
+    csa256(tB, ones, ones, load256(w + i + 8), load256(w + i + 12));
+    csa256(fA, twos, twos, tA, tB);
+    csa256(tA, ones, ones, load256(w + i + 16), load256(w + i + 20));
+    csa256(tB, ones, ones, load256(w + i + 24), load256(w + i + 28));
+    csa256(tB, twos, twos, tA, tB);
+    csa256(fA, fours, fours, fA, tB);
+    total = _mm256_add_epi64(total, popcnt256(fA));
+  }
+  total = _mm256_slli_epi64(total, 3);  // eights weigh 8
+  total = _mm256_add_epi64(
+      total, _mm256_slli_epi64(popcnt256(fours), 2));
+  total = _mm256_add_epi64(total, _mm256_slli_epi64(popcnt256(twos), 1));
+  total = _mm256_add_epi64(total, popcnt256(ones));
+  for (; i + 4 <= words; i += 4)
+    total = _mm256_add_epi64(total, popcnt256(load256(w + i)));
+  return hsum256(total) + bitkernel::scalar::popcount_tail(w, i, words);
+}
+
+__attribute__((target("avx2"))) std::size_t hamming_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t words) noexcept {
+  __m256i total = _mm256_setzero_si256();
+  __m256i ones = _mm256_setzero_si256();
+  __m256i twos = _mm256_setzero_si256();
+  __m256i fours = _mm256_setzero_si256();
+  std::size_t i = 0;
+  __m256i tA, tB, fA;
+  for (; i + 32 <= words; i += 32) {
+    csa256(tA, ones, ones, load_xor256(a + i, b + i),
+           load_xor256(a + i + 4, b + i + 4));
+    csa256(tB, ones, ones, load_xor256(a + i + 8, b + i + 8),
+           load_xor256(a + i + 12, b + i + 12));
+    csa256(fA, twos, twos, tA, tB);
+    csa256(tA, ones, ones, load_xor256(a + i + 16, b + i + 16),
+           load_xor256(a + i + 20, b + i + 20));
+    csa256(tB, ones, ones, load_xor256(a + i + 24, b + i + 24),
+           load_xor256(a + i + 28, b + i + 28));
+    csa256(tB, twos, twos, tA, tB);
+    csa256(fA, fours, fours, fA, tB);
+    total = _mm256_add_epi64(total, popcnt256(fA));
+  }
+  total = _mm256_slli_epi64(total, 3);
+  total = _mm256_add_epi64(total, _mm256_slli_epi64(popcnt256(fours), 2));
+  total = _mm256_add_epi64(total, _mm256_slli_epi64(popcnt256(twos), 1));
+  total = _mm256_add_epi64(total, popcnt256(ones));
+  for (; i + 4 <= words; i += 4)
+    total = _mm256_add_epi64(total, popcnt256(load_xor256(a + i, b + i)));
+  return hsum256(total) + bitkernel::scalar::hamming_tail(a, b, i, words);
+}
+
+__attribute__((target("avx2"))) bool hamming_exceeds_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t words,
+    std::size_t threshold) noexcept {
+  // Early exit per 8-word block: far pairs (the common case) cross the
+  // threshold within the first block or two, so keeping the check dense
+  // matters more than Harley-Seal amortization here.
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    const __m256i x0 = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i)));
+    const __m256i x1 = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i + 4)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i + 4)));
+    total += hsum256(_mm256_add_epi64(popcnt256(x0), popcnt256(x1)));
+    if (total > threshold) return true;
+  }
+  return total + bitkernel::scalar::hamming_tail(a, b, i, words) > threshold;
+}
+
+__attribute__((target("avx2"))) void xor_into_avx2(
+    std::uint64_t* dst, const std::uint64_t* src, std::size_t words) noexcept {
+  std::size_t i = 0;
+  for (; i + 4 <= words; i += 4) {
+    const __m256i x = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i)),
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i), x);
+  }
+  bitkernel::scalar::xor_tail(dst, src, i, words);
+}
+
+__attribute__((target("avx2"))) void extract_bits_avx2(
+    const std::uint64_t* src, std::size_t src_words, std::size_t first,
+    std::size_t n, std::uint64_t* out) noexcept {
+  if (n == 0) return;
+  const std::size_t out_words = word_count(n);
+  const std::size_t base = first / kWordBits;
+  const std::size_t off = first % kWordBits;
+  std::size_t i = 0;
+  if (off == 0) {
+    for (; i + 4 <= out_words; i += 4)
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + i),
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + base + i)));
+  } else {
+    // out[i] = (src[base+i] >> off) | (src[base+i+1] << (64-off)); the hi
+    // load reads through src[base+i+4], so the vector loop stops while that
+    // stays inside src_words and the shared tail finishes (it alone knows
+    // how to treat the missing word past the end as zero).
+    const __m128i shr = _mm_cvtsi32_si128(static_cast<int>(off));
+    const __m128i shl = _mm_cvtsi32_si128(static_cast<int>(kWordBits - off));
+    for (; i + 4 <= out_words && base + i + 5 <= src_words; i += 4) {
+      const __m256i lo =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + base + i));
+      const __m256i hi = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(src + base + i + 1));
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(out + i),
+          _mm256_or_si256(_mm256_srl_epi64(lo, shr), _mm256_sll_epi64(hi, shl)));
+    }
+  }
+  bitkernel::scalar::extract_tail(src, src_words, base, off, i, n, out);
+}
+
+// ---- AVX-512 tier -----------------------------------------------------------
+
+#define COLSCORE_AVX512 "avx512f,avx512bw,avx512vpopcntdq"
+
+__attribute__((target(COLSCORE_AVX512))) std::size_t popcount_avx512(
+    const std::uint64_t* w, std::size_t words) noexcept {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8)
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(_mm512_loadu_si512(w + i)));
+  return static_cast<std::size_t>(_mm512_reduce_add_epi64(acc)) +
+         bitkernel::scalar::popcount_tail(w, i, words);
+}
+
+__attribute__((target(COLSCORE_AVX512))) std::size_t hamming_avx512(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t words) noexcept {
+  __m512i acc = _mm512_setzero_si512();
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(a + i),
+                                       _mm512_loadu_si512(b + i));
+    acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(x));
+  }
+  return static_cast<std::size_t>(_mm512_reduce_add_epi64(acc)) +
+         bitkernel::scalar::hamming_tail(a, b, i, words);
+}
+
+__attribute__((target(COLSCORE_AVX512))) bool hamming_exceeds_avx512(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t words,
+    std::size_t threshold) noexcept {
+  // One 512-bit block per early-exit check: a far pair is gone after a
+  // single vpopcntq round-trip.
+  std::size_t total = 0;
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8) {
+    const __m512i x = _mm512_xor_si512(_mm512_loadu_si512(a + i),
+                                       _mm512_loadu_si512(b + i));
+    total += static_cast<std::size_t>(
+        _mm512_reduce_add_epi64(_mm512_popcnt_epi64(x)));
+    if (total > threshold) return true;
+  }
+  return total + bitkernel::scalar::hamming_tail(a, b, i, words) > threshold;
+}
+
+__attribute__((target(COLSCORE_AVX512))) void xor_into_avx512(
+    std::uint64_t* dst, const std::uint64_t* src, std::size_t words) noexcept {
+  std::size_t i = 0;
+  for (; i + 8 <= words; i += 8)
+    _mm512_storeu_si512(dst + i, _mm512_xor_si512(_mm512_loadu_si512(dst + i),
+                                                  _mm512_loadu_si512(src + i)));
+  bitkernel::scalar::xor_tail(dst, src, i, words);
+}
+
+__attribute__((target(COLSCORE_AVX512))) void extract_bits_avx512(
+    const std::uint64_t* src, std::size_t src_words, std::size_t first,
+    std::size_t n, std::uint64_t* out) noexcept {
+  if (n == 0) return;
+  const std::size_t out_words = word_count(n);
+  const std::size_t base = first / kWordBits;
+  const std::size_t off = first % kWordBits;
+  std::size_t i = 0;
+  if (off == 0) {
+    for (; i + 8 <= out_words; i += 8)
+      _mm512_storeu_si512(out + i, _mm512_loadu_si512(src + base + i));
+  } else {
+    const __m128i shr = _mm_cvtsi32_si128(static_cast<int>(off));
+    const __m128i shl = _mm_cvtsi32_si128(static_cast<int>(kWordBits - off));
+    for (; i + 8 <= out_words && base + i + 9 <= src_words; i += 8) {
+      const __m512i lo = _mm512_loadu_si512(src + base + i);
+      const __m512i hi = _mm512_loadu_si512(src + base + i + 1);
+      _mm512_storeu_si512(out + i, _mm512_or_si512(_mm512_srl_epi64(lo, shr),
+                                                   _mm512_sll_epi64(hi, shl)));
+    }
+  }
+  bitkernel::scalar::extract_tail(src, src_words, base, off, i, n, out);
+}
+
+#undef COLSCORE_AVX512
+
+#endif  // COLSCORE_SIMD_X86
+
+// ---- tier tables ------------------------------------------------------------
+
+constexpr Kernels kScalarKernels = {
+    &bitkernel::scalar::popcount,
+    &bitkernel::scalar::hamming,
+    &bitkernel::scalar::hamming_exceeds,
+    &bitkernel::scalar::xor_into,
+    &bitkernel::scalar::extract_bits,
+};
+
+#if COLSCORE_SIMD_X86
+constexpr Kernels kAvx2Kernels = {
+    &popcount_avx2, &hamming_avx2, &hamming_exceeds_avx2,
+    &xor_into_avx2, &extract_bits_avx2,
+};
+constexpr Kernels kAvx512Kernels = {
+    &popcount_avx512, &hamming_avx512, &hamming_exceeds_avx512,
+    &xor_into_avx512, &extract_bits_avx512,
+};
+#endif
+
+// ---- CPU/OS detection -------------------------------------------------------
+
+Tier detect_cpu() noexcept {
+#if COLSCORE_SIMD_X86
+  unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
+  if (__get_cpuid(1, &eax, &ebx, &ecx, &edx) == 0) return Tier::kScalar;
+  const bool osxsave = (ecx & (1u << 27)) != 0;
+  const bool avx = (ecx & (1u << 28)) != 0;
+  if (!osxsave || !avx) return Tier::kScalar;
+  // The OS must have enabled the wide register state (XCR0 via xgetbv):
+  // bits 1-2 for xmm/ymm, additionally 5-7 for the AVX-512 k/zmm state.
+  std::uint32_t xlo = 0, xhi = 0;
+  __asm__("xgetbv" : "=a"(xlo), "=d"(xhi) : "c"(0));
+  const std::uint64_t xcr0 = (static_cast<std::uint64_t>(xhi) << 32) | xlo;
+  if ((xcr0 & 0x6) != 0x6) return Tier::kScalar;
+  if (__get_cpuid_count(7, 0, &eax, &ebx, &ecx, &edx) == 0) return Tier::kScalar;
+  if ((ebx & (1u << 5)) == 0) return Tier::kScalar;  // no AVX2
+  const bool avx512f = (ebx & (1u << 16)) != 0;
+  const bool avx512bw = (ebx & (1u << 30)) != 0;
+  const bool vpopcntdq = (ecx & (1u << 14)) != 0;
+  const bool zmm_state = (xcr0 & 0xe6) == 0xe6;
+  if (avx512f && avx512bw && vpopcntdq && zmm_state) return Tier::kAvx512;
+  return Tier::kAvx2;
+#else
+  return Tier::kScalar;
+#endif
+}
+
+/// COLSCORE_SIMD caps the detected tier (it cannot grant features the CPU
+/// lacks). Unknown spellings warn once and are ignored.
+Tier apply_env_cap(Tier cpu) noexcept {
+  const char* env = std::getenv("COLSCORE_SIMD");
+  if (env == nullptr || *env == '\0') return cpu;
+  Tier cap;
+  if (std::strcmp(env, "scalar") == 0) {
+    cap = Tier::kScalar;
+  } else if (std::strcmp(env, "avx2") == 0) {
+    cap = Tier::kAvx2;
+  } else if (std::strcmp(env, "avx512") == 0) {
+    cap = Tier::kAvx512;
+  } else {
+    log_warn("COLSCORE_SIMD='", env,
+             "' is not scalar|avx2|avx512; using detected tier ",
+             tier_name(cpu));
+    return cpu;
+  }
+  if (static_cast<int>(cap) > static_cast<int>(cpu)) {
+    log_warn("COLSCORE_SIMD=", env, " exceeds CPU support; using ",
+             tier_name(cpu));
+    return cpu;
+  }
+  return cap;
+}
+
+std::atomic<int> g_active_tier{-1};
+
+}  // namespace
+
+const char* tier_name(Tier tier) noexcept {
+  switch (tier) {
+    case Tier::kScalar: return "scalar";
+    case Tier::kAvx2: return "avx2";
+    case Tier::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+Tier detected_tier() noexcept {
+  static const Tier tier = apply_env_cap(detect_cpu());
+  return tier;
+}
+
+const Kernels& kernels_for(Tier tier) noexcept {
+#if COLSCORE_SIMD_X86
+  if (!tier_supported(tier)) return kScalarKernels;
+  switch (tier) {
+    case Tier::kScalar: return kScalarKernels;
+    case Tier::kAvx2: return kAvx2Kernels;
+    case Tier::kAvx512: return kAvx512Kernels;
+  }
+#else
+  (void)tier;
+#endif
+  return kScalarKernels;
+}
+
+Tier active_tier() noexcept {
+  const int t = g_active_tier.load(std::memory_order_acquire);
+  if (t >= 0) return static_cast<Tier>(t);
+  detail::init_active();
+  return static_cast<Tier>(g_active_tier.load(std::memory_order_acquire));
+}
+
+bool set_tier(Tier tier) noexcept {
+  if (!tier_supported(tier)) return false;
+  detail::g_active.store(&kernels_for(tier), std::memory_order_release);
+  g_active_tier.store(static_cast<int>(tier), std::memory_order_release);
+  return true;
+}
+
+namespace detail {
+
+std::atomic<const Kernels*> g_active{nullptr};
+
+const Kernels& init_active() noexcept {
+  const Tier tier = detected_tier();
+  g_active_tier.store(static_cast<int>(tier), std::memory_order_release);
+  const Kernels& table = kernels_for(tier);
+  g_active.store(&table, std::memory_order_release);
+  return table;
+}
+
+}  // namespace detail
+
+}  // namespace colscore::simd

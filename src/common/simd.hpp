@@ -1,0 +1,92 @@
+// Runtime-dispatched SIMD tiers for the word-parallel bit kernels.
+//
+// The hot distance kernels (XOR+popcount sweeps in the neighbor graph,
+// packed-row extraction in the probe pipeline) are memory-streaming loops
+// over 64-bit words; on x86 they vectorize 4x-8x with AVX2 / AVX-512
+// VPOPCNTDQ. This header is the single dispatch point: one kernel table per
+// tier, the best CPU-supported tier resolved once at first use, and every
+// call site in bitkernels.hpp routed through `active()`. Nothing outside
+// simd.cpp contains an intrinsic, and every tier produces bit-identical
+// results — the tier only moves time, never output (test_simd cross-checks
+// each tier against the scalar reference exhaustively).
+//
+// Forcing a tier (CI legs, A/B benching):
+//   * env COLSCORE_SIMD=scalar|avx2|avx512 caps the *detected* tier before
+//     first use — the process then behaves exactly like a machine without
+//     the masked features (tiers above the cap report unsupported).
+//   * simd::set_tier(t) switches the active tier at runtime (tests); it
+//     cannot exceed the detected cap.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace colscore::simd {
+
+/// Ordered capability tiers: every tier above kScalar implies the ones below
+/// it (the AVX-512 tier requires AVX2), so "supported" is a simple <=.
+enum class Tier : int {
+  kScalar = 0,  // portable fallback (bitkernel::scalar, 4-way unrolled)
+  kAvx2 = 1,    // AVX2, Harley-Seal carry-save popcount
+  kAvx512 = 2,  // AVX-512F + VPOPCNTDQ
+};
+
+/// One function table per tier. Signatures mirror the bitkernel entry
+/// points; every implementation handles arbitrary `words` (vector bulk +
+/// shared scalar tail), so callers never need to round sizes.
+struct Kernels {
+  std::size_t (*popcount)(const std::uint64_t*, std::size_t) noexcept;
+  std::size_t (*hamming)(const std::uint64_t*, const std::uint64_t*,
+                         std::size_t) noexcept;
+  bool (*hamming_exceeds)(const std::uint64_t*, const std::uint64_t*,
+                          std::size_t, std::size_t) noexcept;
+  void (*xor_into)(std::uint64_t*, const std::uint64_t*, std::size_t) noexcept;
+  void (*extract_bits)(const std::uint64_t*, std::size_t, std::size_t,
+                       std::size_t, std::uint64_t*) noexcept;
+};
+
+/// "scalar" / "avx2" / "avx512" — the spelling COLSCORE_SIMD accepts and the
+/// one benches print in their config labels.
+const char* tier_name(Tier tier) noexcept;
+
+/// Best tier this process may use: CPU/OS capability, capped by
+/// COLSCORE_SIMD if set. Resolved once; stable for the process lifetime.
+Tier detected_tier() noexcept;
+
+inline bool tier_supported(Tier tier) noexcept {
+  return static_cast<int>(tier) <= static_cast<int>(detected_tier());
+}
+
+/// Tier currently behind `active()` (defaults to detected_tier()).
+Tier active_tier() noexcept;
+
+/// Forces the active tier; false (and no change) if the tier is above the
+/// detected cap. Thread-safe, but meant for tests and benches, not for
+/// flipping mid-sweep.
+bool set_tier(Tier tier) noexcept;
+
+/// The kernel table of one tier. Caller must check tier_supported() first:
+/// asking for an unsupported tier returns the scalar table rather than a
+/// table that would fault.
+const Kernels& kernels_for(Tier tier) noexcept;
+
+namespace detail {
+extern std::atomic<const Kernels*> g_active;
+const Kernels& init_active() noexcept;
+}  // namespace detail
+
+/// The active kernel table (one relaxed atomic load on the hot path).
+inline const Kernels& active() noexcept {
+  const Kernels* k = detail::g_active.load(std::memory_order_acquire);
+  return k != nullptr ? *k : detail::init_active();
+}
+
+/// Below this many words the inline scalar forms win: the vector bulk loop
+/// would not execute even once at the AVX-512 width, and the indirect call
+/// through the table costs more than the loop it replaces. bitkernels.hpp
+/// compares against this before dispatching, so sub-512-bit rows (the whole
+/// n<=512 suite grid) never pay for the table.
+inline constexpr std::size_t kDispatchMinWords = 8;
+
+}  // namespace colscore::simd

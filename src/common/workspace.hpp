@@ -15,7 +15,8 @@
 //     ProtocolEnv::workspace() is the same instance, spelled protocol-side.
 //   * Buffers are grouped by owner (sel_* for the Select tournament, pf_*
 //     for the prefilter, zr_* for ZeroRadius adoption, vt_* for work-share
-//     voting, ze_* for ZeroRadius reassembly, probe_* for oracle staging).
+//     voting, ze_* for ZeroRadius reassembly, probe_* for oracle staging,
+//     nb_* for the CSR neighbor-graph build).
 //     A function may only touch its own group, because nested frames on one
 //     thread are live simultaneously: select_prefiltered (pf_*) is still
 //     using its finalist list while the inner tournament (sel_*) runs, and
@@ -98,6 +99,13 @@ struct RunWorkspace {
   std::vector<std::size_t> sr_subset_cursor;
   std::vector<std::size_t> sr_coords_flat;
   std::vector<ObjectId> sr_sub_objects;
+
+  // ---- CSR neighbor-graph build (neighbor_csr.cpp) -------------------------
+  // nb_tile_edges[ti] is written only by the task owning tile ti (the outer
+  // vector is sized before the parallel sweep); counts/cursor are sequential.
+  std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>> nb_tile_edges;
+  std::vector<std::uint32_t> nb_degree;
+  std::vector<std::uint32_t> nb_cursor;
 
   // ---- scratch matrices (calculate_preferences / small_radius) -------------
   BitMatrix cp_z;                         // per-iteration z family

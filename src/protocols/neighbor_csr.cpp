@@ -1,0 +1,131 @@
+#include "src/protocols/neighbor_csr.hpp"
+
+#include <algorithm>
+
+#include "src/common/assert.hpp"
+#include "src/common/bitkernels.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/common/workspace.hpp"
+
+namespace colscore {
+
+namespace {
+
+/// Same tile sizing as the dense build (neighbor_graph.cpp): two tiles of
+/// z-rows resident in L1/L2 while the pair sweep runs.
+std::size_t tile_rows(std::size_t n, std::size_t row_bytes) {
+  constexpr std::size_t kTileBytes = 32 * 1024;
+  const std::size_t rows = kTileBytes / std::max<std::size_t>(1, row_bytes);
+  return std::clamp<std::size_t>(rows, 8, std::max<std::size_t>(8, n));
+}
+
+/// Deterministic index hash (murmur3 finalizer) for the density sample —
+/// spreads pair picks across the triangle without any runtime entropy.
+std::uint64_t mix_index(std::uint64_t i) noexcept {
+  std::uint64_t h = (i + 1) * 0x9e3779b97f4a7c15ULL;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 29;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 32;
+  return h;
+}
+
+constexpr std::size_t kDensitySamples = 256;
+constexpr std::size_t kCsrMinPlayers = 2048;
+constexpr double kCsrMaxDensity = 1.0 / 16.0;
+
+}  // namespace
+
+bool CsrNeighbors::has_edge(PlayerId p, PlayerId q) const noexcept {
+  const std::span<const std::uint32_t> nb = neighbors(p);
+  return std::binary_search(nb.begin(), nb.end(), q);
+}
+
+double estimate_edge_density(std::span<const ConstBitRow> z,
+                             std::size_t threshold) {
+  const std::size_t n = z.size();
+  if (n < 2) return 0.0;
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < kDensitySamples; ++i) {
+    const std::uint64_t h = mix_index(i);
+    const auto p = static_cast<std::size_t>(h % n);
+    auto q = static_cast<std::size_t>((h >> 32) % (n - 1));
+    if (q >= p) ++q;
+    if (!z[p].hamming_exceeds(z[q], threshold)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(kDensitySamples);
+}
+
+bool csr_preferred(std::span<const ConstBitRow> z, std::size_t threshold) {
+  if (z.size() < kCsrMinPlayers) return false;
+  return estimate_edge_density(z, threshold) <= kCsrMaxDensity;
+}
+
+CsrNeighbors build_csr_neighbors(std::span<const ConstBitRow> z,
+                                 std::size_t threshold) {
+  const std::size_t n = z.size();
+  CsrNeighbors out;
+  out.offsets.assign(n + 1, 0);
+  if (n < 2) return out;
+  const std::size_t dim_words = bitkernel::word_count(z[0].size());
+  const std::size_t tile = tile_rows(n, dim_words * sizeof(std::uint64_t));
+  const std::size_t n_tiles = (n + tile - 1) / tile;
+
+  // Upper-triangle pass, one task per p-tile exactly as in the dense build —
+  // but each task appends (p, q) edges to its own tile list instead of
+  // setting bits. The list content depends only on the tile index, never on
+  // the thread schedule.
+  RunWorkspace& ws = RunWorkspace::current();
+  ws.nb_tile_edges.resize(std::max(ws.nb_tile_edges.size(), n_tiles));
+  parallel_for(0, n_tiles, [&, threshold](std::size_t ti) {
+    auto& edges = ws.nb_tile_edges[ti];
+    edges.clear();
+    const std::size_t p_begin = ti * tile;
+    const std::size_t p_end = std::min(n, p_begin + tile);
+    for (std::size_t tj = ti; tj < n_tiles; ++tj) {
+      const std::size_t q_tile_begin = tj * tile;
+      const std::size_t q_tile_end = std::min(n, q_tile_begin + tile);
+      for (std::size_t p = p_begin; p < p_end; ++p) {
+        const ConstBitRow zp = z[p];
+        for (std::size_t q = std::max(q_tile_begin, p + 1); q < q_tile_end; ++q) {
+          if (!zp.hamming_exceeds(z[q], threshold))
+            edges.emplace_back(static_cast<std::uint32_t>(p),
+                               static_cast<std::uint32_t>(q));
+        }
+      }
+    }
+  });
+
+  // counts -> offsets -> scatter, all sequential. Walking the tile lists in
+  // tile order yields each row's neighbors fully ascending: within a tile
+  // list the (tj, p, q) loop order puts a row's mirror entries (p' < r,
+  // appended while the middle loop sits at p' < r) before its forward
+  // entries (q > r, appended at p = r in ascending q), and earlier tiles
+  // only contribute smaller p'.
+  ws.nb_degree.assign(n, 0);
+  std::size_t total = 0;
+  for (std::size_t ti = 0; ti < n_tiles; ++ti) {
+    for (const auto& [p, q] : ws.nb_tile_edges[ti]) {
+      ++ws.nb_degree[p];
+      ++ws.nb_degree[q];
+    }
+    total += 2 * ws.nb_tile_edges[ti].size();
+  }
+  CS_ASSERT(total <= static_cast<std::size_t>(UINT32_MAX),
+            "csr: adjacency exceeds uint32 index space");
+  for (std::size_t p = 0; p < n; ++p)
+    out.offsets[p + 1] = out.offsets[p] + ws.nb_degree[p];
+
+  out.adj.resize(total);
+  ws.nb_cursor.assign(out.offsets.begin(), out.offsets.end() - 1);
+  for (std::size_t ti = 0; ti < n_tiles; ++ti) {
+    for (const auto& [p, q] : ws.nb_tile_edges[ti]) {
+      out.adj[ws.nb_cursor[p]++] = q;
+      out.adj[ws.nb_cursor[q]++] = p;
+    }
+  }
+  return out;
+}
+
+}  // namespace colscore

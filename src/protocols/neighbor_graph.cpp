@@ -20,21 +20,56 @@ std::size_t tile_rows(std::size_t n, std::size_t row_bytes) {
 
 }  // namespace
 
-NeighborGraph::NeighborGraph(std::span<const ConstBitRow> z, std::size_t threshold) {
-  build(z, threshold);
+const char* backend_name(GraphBackend backend) noexcept {
+  switch (backend) {
+    case GraphBackend::kAuto: return "auto";
+    case GraphBackend::kDense: return "dense";
+    case GraphBackend::kCsr: return "csr";
+  }
+  return "unknown";
 }
 
-NeighborGraph::NeighborGraph(const BitMatrix& z, std::size_t threshold) {
-  build(z.row_views(), threshold);
+NeighborGraph::NeighborGraph(std::span<const ConstBitRow> z,
+                             std::size_t threshold, GraphBackend backend) {
+  build(z, threshold, backend);
 }
 
-NeighborGraph::NeighborGraph(std::span<const BitVector> z, std::size_t threshold) {
+NeighborGraph::NeighborGraph(const BitMatrix& z, std::size_t threshold,
+                             GraphBackend backend) {
+  build(z.row_views(), threshold, backend);
+}
+
+NeighborGraph::NeighborGraph(std::span<const BitVector> z, std::size_t threshold,
+                             GraphBackend backend) {
   std::vector<ConstBitRow> views(z.begin(), z.end());
-  build(views, threshold);
+  build(views, threshold, backend);
 }
 
-void NeighborGraph::build(std::span<const ConstBitRow> z, std::size_t threshold) {
+ConstBitRow NeighborGraph::row(PlayerId p) const {
+  CS_ASSERT(backend_ == GraphBackend::kDense,
+            "NeighborGraph::row: dense backend only");
+  return adj_.row(p);
+}
+
+std::span<const std::uint32_t> NeighborGraph::neighbors(PlayerId p) const {
+  CS_ASSERT(backend_ == GraphBackend::kCsr,
+            "NeighborGraph::neighbors: csr backend only");
+  return csr_.neighbors(p);
+}
+
+void NeighborGraph::build(std::span<const ConstBitRow> z, std::size_t threshold,
+                          GraphBackend backend) {
   const std::size_t n = z.size();
+  n_ = n;
+  if (backend == GraphBackend::kAuto)
+    backend = csr_preferred(z, threshold) ? GraphBackend::kCsr
+                                          : GraphBackend::kDense;
+  backend_ = backend;
+  if (backend_ == GraphBackend::kCsr) {
+    csr_ = build_csr_neighbors(z, threshold);
+    return;
+  }
+
   adj_ = BitMatrix(n, n);
   if (n < 2) return;
   const std::size_t dim_words = bitkernel::word_count(z[0].size());
@@ -92,6 +127,7 @@ std::size_t Clustering::max_cluster_size() const {
 Clustering cluster_players(const NeighborGraph& graph, std::size_t min_cluster) {
   const std::size_t n = graph.size();
   CS_ASSERT(min_cluster >= 1, "cluster_players: min_cluster >= 1");
+  const bool dense = graph.backend() == GraphBackend::kDense;
   Clustering out;
   out.cluster_of.assign(n, Clustering::kNoClusterAssigned);
 
@@ -102,17 +138,24 @@ Clustering cluster_players(const NeighborGraph& graph, std::size_t min_cluster) 
   std::vector<std::size_t> deg(n);
   for (PlayerId p = 0; p < n; ++p) deg[p] = graph.degree(p);
 
-  /// Set bits of (row & alive), ascending.
+  /// Set bits of (row & alive), ascending. The dense walk ANDs adjacency
+  /// words against the alive words; the CSR walk filters the (already
+  /// ascending) neighbor list — same ids in the same order either way.
   const auto for_alive_neighbors = [&](PlayerId p, auto&& fn) {
-    const std::span<const std::uint64_t> rw = graph.row(p).words();
-    const std::span<const std::uint64_t> aw = alive.words();
-    for (std::size_t w = 0; w < rw.size(); ++w) {
-      std::uint64_t x = rw[w] & aw[w];
-      while (x != 0) {
-        fn(static_cast<PlayerId>(w * bitkernel::kWordBits +
-                                 static_cast<std::size_t>(std::countr_zero(x))));
-        x &= x - 1;
+    if (dense) {
+      const std::span<const std::uint64_t> rw = graph.row(p).words();
+      const std::span<const std::uint64_t> aw = alive.words();
+      for (std::size_t w = 0; w < rw.size(); ++w) {
+        std::uint64_t x = rw[w] & aw[w];
+        while (x != 0) {
+          fn(static_cast<PlayerId>(w * bitkernel::kWordBits +
+                                   static_cast<std::size_t>(std::countr_zero(x))));
+          x &= x - 1;
+        }
       }
+    } else {
+      for (const std::uint32_t q : graph.neighbors(p))
+        if (alive.get(q)) fn(static_cast<PlayerId>(q));
     }
   };
 
@@ -148,26 +191,35 @@ Clustering cluster_players(const NeighborGraph& graph, std::size_t min_cluster) 
     out.clusters.push_back(std::move(members));
   }
 
+  /// First neighbour of p (scanning ascending) that already has a cluster,
+  /// or kNoClusterAssigned.
+  const auto first_assigned_neighbor = [&](PlayerId p) -> std::uint32_t {
+    if (dense) {
+      const std::span<const std::uint64_t> rw = graph.row(p).words();
+      for (std::size_t w = 0; w < rw.size(); ++w) {
+        std::uint64_t x = rw[w];
+        while (x != 0) {
+          const auto q = static_cast<PlayerId>(
+              w * bitkernel::kWordBits + static_cast<std::size_t>(std::countr_zero(x)));
+          x &= x - 1;
+          if (out.cluster_of[q] != Clustering::kNoClusterAssigned)
+            return out.cluster_of[q];
+        }
+      }
+    } else {
+      for (const std::uint32_t q : graph.neighbors(p))
+        if (out.cluster_of[q] != Clustering::kNoClusterAssigned)
+          return out.cluster_of[q];
+    }
+    return Clustering::kNoClusterAssigned;
+  };
+
   // Leftover pass: attach each survivor to the cluster of any removed
   // neighbour (the paper's V'_j rule).
   std::uint32_t orphan_pool = Clustering::kNoClusterAssigned;
   for (PlayerId p = 0; p < n; ++p) {
     if (!alive.get(p)) continue;
-    std::uint32_t target = Clustering::kNoClusterAssigned;
-    const std::span<const std::uint64_t> rw = graph.row(p).words();
-    for (std::size_t w = 0; w < rw.size() && target == Clustering::kNoClusterAssigned;
-         ++w) {
-      std::uint64_t x = rw[w];
-      while (x != 0) {
-        const auto q = static_cast<PlayerId>(
-            w * bitkernel::kWordBits + static_cast<std::size_t>(std::countr_zero(x)));
-        x &= x - 1;
-        if (out.cluster_of[q] != Clustering::kNoClusterAssigned) {
-          target = out.cluster_of[q];
-          break;
-        }
-      }
-    }
+    std::uint32_t target = first_assigned_neighbor(p);
     if (target == Clustering::kNoClusterAssigned) {
       // Orphan: the diameter guess was wrong for this player (it has no
       // n/B-sized D-neighbourhood — e.g. the random background players of

@@ -6,11 +6,20 @@
 // whole neighbourhood; leftovers then attach to the cluster of any previously
 // removed neighbour.
 //
-// Hot-path layout: the adjacency lives in a contiguous BitMatrix and the
-// construction computes each unordered pair {p, q} once, in cache-sized row
-// tiles, with an early-exit Hamming kernel that abandons a pair as soon as
-// its running distance crosses the threshold (far pairs — the common case —
-// cost a handful of words instead of a full row scan).
+// Two adjacency backends behind one interface (identical downstream output):
+//   * kDense — contiguous BitMatrix, O(n^2) bits. Wins when the graph is
+//     dense or n is small: neighbor walks are word-parallel AND+ctz scans.
+//   * kCsr — offsets + flat neighbor array (src/protocols/neighbor_csr.hpp).
+//     Wins in the sparse regime (large n, small tau): no O(n^2)-bit
+//     allocation/zero/mirror, and every neighbor walk is O(degree).
+// kAuto picks per instance via a deterministic sampled-density heuristic
+// (csr_preferred), so the choice is identical on every machine and run.
+//
+// Hot-path layout (both backends): construction computes each unordered pair
+// {p, q} once, in cache-sized row tiles, with an early-exit Hamming kernel
+// that abandons a pair as soon as its running distance crosses the threshold
+// (far pairs — the common case — cost a handful of words instead of a full
+// row scan). The kernel itself is SIMD-dispatched (src/common/simd.hpp).
 #pragma once
 
 #include <span>
@@ -19,28 +28,55 @@
 #include "src/common/bitmatrix.hpp"
 #include "src/common/bitvector.hpp"
 #include "src/common/types.hpp"
+#include "src/protocols/neighbor_csr.hpp"
 
 namespace colscore {
+
+/// Adjacency storage choice; kAuto resolves to kDense or kCsr at build time.
+enum class GraphBackend { kAuto, kDense, kCsr };
+
+/// "dense" / "csr" — the spelling benches print in their config labels.
+const char* backend_name(GraphBackend backend) noexcept;
 
 class NeighborGraph {
  public:
   /// Builds the graph over the published sample vectors: edge iff
   /// hamming(z[p], z[q]) <= threshold. Each pair is computed once (symmetry)
   /// in row tiles; the per-pair kernel early-exits past the threshold.
-  NeighborGraph(std::span<const ConstBitRow> z, std::size_t threshold);
-  NeighborGraph(const BitMatrix& z, std::size_t threshold);
-  NeighborGraph(std::span<const BitVector> z, std::size_t threshold);
+  NeighborGraph(std::span<const ConstBitRow> z, std::size_t threshold,
+                GraphBackend backend = GraphBackend::kAuto);
+  NeighborGraph(const BitMatrix& z, std::size_t threshold,
+                GraphBackend backend = GraphBackend::kAuto);
+  NeighborGraph(std::span<const BitVector> z, std::size_t threshold,
+                GraphBackend backend = GraphBackend::kAuto);
 
-  std::size_t size() const noexcept { return adj_.rows(); }
-  bool has_edge(PlayerId p, PlayerId q) const { return adj_.get(p, q); }
-  std::size_t degree(PlayerId p) const { return adj_.row(p).popcount(); }
+  /// The resolved backend (never kAuto).
+  GraphBackend backend() const noexcept { return backend_; }
+
+  std::size_t size() const noexcept { return n_; }
+  bool has_edge(PlayerId p, PlayerId q) const {
+    return backend_ == GraphBackend::kDense ? adj_.get(p, q)
+                                            : csr_.has_edge(p, q);
+  }
+  std::size_t degree(PlayerId p) const {
+    return backend_ == GraphBackend::kDense ? adj_.row(p).popcount()
+                                            : csr_.degree(p);
+  }
   /// Neighbours of p as an n-bit row view (bit q set iff edge pq).
-  ConstBitRow row(PlayerId p) const { return adj_.row(p); }
+  /// Dense backend only — callers that must handle both backends walk
+  /// degree()/has_edge() or branch on backend() like cluster_players does.
+  ConstBitRow row(PlayerId p) const;
+  /// Neighbours of p as an ascending id list. CSR backend only.
+  std::span<const std::uint32_t> neighbors(PlayerId p) const;
 
  private:
-  void build(std::span<const ConstBitRow> z, std::size_t threshold);
+  void build(std::span<const ConstBitRow> z, std::size_t threshold,
+             GraphBackend backend);
 
-  BitMatrix adj_;
+  std::size_t n_ = 0;
+  GraphBackend backend_ = GraphBackend::kDense;
+  BitMatrix adj_;      // kDense
+  CsrNeighbors csr_;   // kCsr
 };
 
 struct Clustering {
@@ -61,7 +97,9 @@ struct Clustering {
 
 /// Greedy peeling per Fig. 2 step 1.d with cluster size floor `min_cluster`
 /// (= n/B in the paper). Alive-degrees are maintained incrementally as
-/// members are absorbed instead of rescanned per probe.
+/// members are absorbed instead of rescanned per probe. Runs on either
+/// backend with identical output (neighbor walks visit the same ids in the
+/// same ascending order both ways).
 Clustering cluster_players(const NeighborGraph& graph, std::size_t min_cluster);
 
 /// Compat overload: `z` was only ever a diagnostics hook and is ignored.

@@ -51,6 +51,8 @@ SelectOutcome run_tournament_small(PlayerId p, std::span<const ConstBitRow> cand
       if (!alive[i]) break;
       if (!alive[j]) continue;
       const std::uint64_t diffw = cw[i] ^ cw[j];
+      // colscore-lint: allow(CL011) single-word universe: one popcount on a
+      // register beats any kernel call (see kSmallTournamentK gate above)
       const auto cnt = static_cast<std::size_t>(std::popcount(diffw));
       if (cnt == 0 || cnt <= skip_below) continue;
 

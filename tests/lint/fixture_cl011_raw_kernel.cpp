@@ -1,0 +1,48 @@
+// lint-fixture-as: src/protocols/fixture_raw_kernel.cpp
+// CL011: hand-written XOR+popcount loops opt out of the SIMD dispatcher;
+// distance code must go through the bitkernel entry points.
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/bitkernels.hpp"
+
+namespace colscore {
+
+std::size_t fixture_raw_hamming(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words; ++i)
+    total += std::popcount(a[i] ^ b[i]);  // VIOLATION: raw kernel loop
+  return total;
+}
+
+std::size_t fixture_raw_builtin(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words; ++i) {
+    const std::uint64_t x = a[i] ^ b[i];
+    total += static_cast<std::size_t>(__builtin_popcountll(x));  // VIOLATION
+  }
+  return total;
+}
+
+std::size_t fixture_dispatched_ok(const std::uint64_t* a, const std::uint64_t* b,
+                                  std::size_t words) {
+  return bitkernel::hamming(a, b, words);  // fine: dispatched entry point
+}
+
+std::size_t fixture_plain_popcount_ok(const std::uint64_t* w, std::size_t words) {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < words; ++i)
+    total += std::popcount(w[i]);  // fine: no XOR in the loop (not a distance)
+  return total;
+}
+
+std::uint64_t fixture_xor_only_ok(const std::uint64_t* w, std::size_t words) {
+  std::uint64_t h = 0;
+  for (std::size_t i = 0; i < words; ++i) h ^= w[i];  // fine: no popcount
+  return h;
+}
+
+}  // namespace colscore

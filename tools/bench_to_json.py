@@ -65,6 +65,10 @@ def distill(raw: dict) -> list[dict]:
             "cpu_time_s": to_seconds(b["cpu_time"], b.get("time_unit", "s")),
             "iterations": b.get("iterations", 0),
         }
+        # The benchmark's SetLabel string (e.g. "tier=avx512 backend=csr")
+        # pins the machine-dependent config a number was measured under.
+        if b.get("label"):
+            entry["label"] = b["label"]
         counters = {k: v for k, v in b.items() if k not in reserved}
         if counters:
             entry["counters"] = counters

@@ -15,6 +15,7 @@ compilation database:
     CL008  registry-description       add() must document the entry
     CL009  literal-metric-key          keys checkable offline
     CL010  stdio-in-library            log.hpp / ResultSink only
+    CL011  raw-kernel-loop             distance loops use dispatched kernels
     CL000  lint hygiene (malformed or stale suppressions; not suppressible)
 
 Suppress a diagnostic on its line (or from a comment-only line above) with:

@@ -10,13 +10,15 @@ from . import probe_discipline
 from . import determinism
 from . import registry_hygiene
 from . import logging_discipline
+from . import kernel_discipline
 
 RULES = sorted(
     workspace_ownership.RULES
     + probe_discipline.RULES
     + determinism.RULES
     + registry_hygiene.RULES
-    + logging_discipline.RULES,
+    + logging_discipline.RULES
+    + kernel_discipline.RULES,
     key=lambda r: r.rule_id,
 )
 

@@ -1,0 +1,77 @@
+"""CL011: no hand-written XOR+popcount distance loops outside the kernels.
+
+PR 7 put the hot distance kernels behind a runtime SIMD dispatcher
+(src/common/simd.hpp); bitkernel::popcount / hamming / hamming_exceeds /
+xor_into / extract_bits pick the best CPU tier automatically.  A hand-rolled
+``for (...) total += std::popcount(a[i] ^ b[i])`` loop silently opts out of
+that — it runs scalar forever and drifts from the single padding-mask source
+of truth.  This rule flags word-level popcount calls (std::popcount or the
+__builtin forms, i.e. the raw-``uint64_t*`` shape — container methods like
+``row.popcount()`` are the sanctioned API and stay exempt) inside any loop
+body that also XORs, anywhere outside the kernel-owning files.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from engine import Diagnostic, LintContext, Rule, SourceFile, make_diag
+
+from .probe_discipline import _loop_body_ranges
+
+_POPCOUNT_IDENTS = {
+    "popcount",  # std::popcount on raw words
+    "__builtin_popcount", "__builtin_popcountl", "__builtin_popcountll",
+}
+
+
+def _check(sf: SourceFile, ctx: LintContext) -> List[Diagnostic]:
+    toks = sf.tokens
+    if not any(t.text in _POPCOUNT_IDENTS for t in toks):
+        return []
+    ranges = _loop_body_ranges(sf)
+    if not ranges:
+        return []
+    xor_offsets = [t.offset for t in toks if t.text == "^"]
+    out: List[Diagnostic] = []
+    for i, tok in enumerate(toks):
+        if tok.text not in _POPCOUNT_IDENTS or not tok.is_ident:
+            continue
+        # Member spellings (row.popcount()) are the sanctioned container API;
+        # only the word-level forms (std::popcount / __builtin_*) count.
+        if i > 0 and toks[i - 1].text in (".", "->"):
+            continue
+        if i + 1 >= len(toks) or toks[i + 1].text != "(":
+            continue
+        body = next(((lo, hi) for lo, hi in ranges if lo <= tok.offset < hi),
+                    None)
+        if body is None:
+            continue
+        if not any(body[0] <= x < body[1] for x in xor_offsets):
+            continue
+        out.append(make_diag(
+            RULE, sf, tok.line, tok.col,
+            "hand-written XOR+popcount loop; hot distance code must go "
+            "through the dispatched kernels (bitkernel::hamming / "
+            "hamming_exceeds / xor_into) so it picks up the SIMD tier"))
+    return out
+
+
+RULE = Rule(
+    rule_id="CL011",
+    slug="raw-kernel-loop",
+    description="Loops combining raw-word popcount with XOR outside "
+                "simd/bitkernels must use the dispatched bitkernel entry "
+                "points instead.",
+    hint="call bitkernel::hamming / hamming_exceeds (or add a kernel to "
+         "simd.cpp) instead of open-coding the loop",
+    check=_check,
+    scope=("src/",),
+    exclude=(
+        "src/common/bitkernels.hpp",
+        "src/common/simd.hpp",
+        "src/common/simd.cpp",
+    ),
+)
+
+RULES = [RULE]
