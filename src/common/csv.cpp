@@ -4,10 +4,11 @@
 
 namespace colscore {
 
-CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> columns)
+CsvWriter::CsvWriter(std::ostream& out, std::vector<std::string> columns,
+                     bool emit_header)
     : out_(out), width_(columns.size()) {
   CS_ASSERT(width_ > 0, "csv: empty header");
-  write_row(columns);
+  if (emit_header) write_row(columns);
   rows_ = 0;  // header does not count
 }
 

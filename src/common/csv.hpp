@@ -13,7 +13,10 @@ namespace colscore {
 class CsvWriter {
  public:
   /// Writes rows to `out`; the header row is emitted on construction.
-  CsvWriter(std::ostream& out, std::vector<std::string> columns);
+  /// Pass emit_header=false when appending to an artifact that already has
+  /// one (the columns still pin the expected row width).
+  CsvWriter(std::ostream& out, std::vector<std::string> columns,
+            bool emit_header = true);
 
   /// Number of values must match the header width.
   void row(std::initializer_list<std::string> values);

@@ -124,6 +124,11 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
   if (shared->error) std::rethrow_exception(shared->error);
 }
 
+void sleep_for_seconds(double seconds) {
+  if (!(seconds > 0)) return;
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+}
+
 namespace {
 std::unique_ptr<ThreadPool>& global_slot() {
   static std::unique_ptr<ThreadPool> pool = std::make_unique<ThreadPool>();

@@ -49,6 +49,15 @@ class ThreadPool {
   bool stop_ = false;
 };
 
+/// Blocking sleep, used by the suite runner's retry backoff and the fault
+/// plan's injected delays. Lives with the pool so blocking-wait machinery
+/// (and the <thread> include) stays confined to the threading layer — the
+/// rest of the tree reaches wall time only through colscore::Timer.
+/// Sleeping occupies the calling pool worker; that is the documented cost of
+/// retrying a failed run in place (ordered emission needs the run finished
+/// on its claimed index anyway). No-op for seconds <= 0.
+void sleep_for_seconds(double seconds);
+
 /// Convenience wrapper over ThreadPool::global(). Template so the serial
 /// path (one worker, or a single index) calls the body directly — inlined,
 /// no std::function construction. The protocol hot path invokes this

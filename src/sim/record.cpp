@@ -401,6 +401,10 @@ const MetricSchema& builtin_schema() {
     core("err_over_opt", MetricType::kF64,
          "worst error over the empirical OPT radius (0 when OPT is skipped)",
          F64Format::kHistorical);
+    core("status", MetricType::kString,
+         "run completion status: ok, failed, timeout, or skipped");
+    core("error", MetricType::kString,
+         "error that exhausted the run's retries (absent for ok runs)");
     core("wall_s", MetricType::kF64,
          "wall-clock seconds for the run (non-deterministic)",
          F64Format::kHistorical);
@@ -501,7 +505,7 @@ std::vector<std::string> default_columns(bool include_wall, bool include_rep) {
       "workload",   "algorithm",  "adversary",    "n",
       "budget",     "diameter",   "dishonest",    "seed",
       "max_err",    "mean_err",   "max_probes",   "honest_max_probes",
-      "total_probes", "board_reports", "err_over_opt"};
+      "total_probes", "board_reports", "err_over_opt", "status", "error"};
   if (include_rep) columns.insert(columns.begin() + 8, "rep");
   if (include_wall) columns.push_back("wall_s");
   return columns;
@@ -544,6 +548,13 @@ RunRecord make_run_record(const SuiteRun& run, const MetricSchema& schema) {
   record.set_size("dishonest", sc.dishonest);
   record.set_u64("seed", sc.seed);
   record.set_size("rep", run.rep);
+  record.set_string("status", run_status_name(run.status));
+  if (!run.error.empty()) record.set_string("error", run.error);
+  // Failure rows carry identity + status/error only: a kFailed/kTimeout run
+  // has no outcome, and all-absent result cells are unambiguous in every
+  // sink (empty CSV cells, JSON null, SQL NULL) where zeros would read as
+  // a perfectly-scored run.
+  if (run.status != RunStatus::kOk) return record;
   record.set_size("max_err", out.error.max_error);
   record.set_f64("mean_err", out.error.mean_error);
   record.set_u64("max_probes", out.max_probes);

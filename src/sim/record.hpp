@@ -242,8 +242,10 @@ bool is_reserved_metric_key(const std::string& key);
 /// Splits "a,b,c" into column keys; throws ScenarioError on empty items.
 std::vector<std::string> parse_column_list(std::string_view text);
 
-/// The historical CSV column selection: the 15 golden columns, `rep` after
-/// `seed` when replication is in play, `wall_s` last when requested.
+/// The historical CSV column selection: the 15 golden columns plus
+/// `status`/`error` (fault tolerance made run failure a first-class row),
+/// `rep` after `seed` when replication is in play, `wall_s` last when
+/// requested.
 std::vector<std::string> default_columns(bool include_wall = false,
                                          bool include_rep = false);
 
@@ -266,7 +268,9 @@ MetricSchema suite_metric_schema(std::span<const ScenarioSpec> specs);
 /// Fills a typed record for `run`: built-ins and diagnostics from the
 /// scenario/outcome, then the run's entry-emitted metrics. Schema keys the
 /// run does not produce stay absent (e.g. another cell's entry metrics, or
-/// opt_* when OPT was skipped).
+/// opt_* when OPT was skipped). Runs that did not complete ok carry only
+/// the identity columns plus `status`/`error` — every result cell stays
+/// absent so a failure row can never be mistaken for a perfect score.
 RunRecord make_run_record(const SuiteRun& run, const MetricSchema& schema);
 
 }  // namespace colscore

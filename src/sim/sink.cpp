@@ -1,6 +1,7 @@
 #include "src/sim/sink.hpp"
 
 #include <cmath>
+#include <cstdio>
 #include <iostream>
 
 #include "src/common/assert.hpp"
@@ -16,17 +17,55 @@ namespace colscore {
 namespace {
 
 /// Opens `config` for a text sink: the explicit stream if set, stdout for an
-/// empty path, otherwise a truncated file (ScenarioError on failure).
+/// empty path, otherwise a file (ScenarioError on failure). Fresh mode opens
+/// `PATH.tmp` truncated and records the rename for finish(); append mode
+/// opens PATH itself and records nothing.
 std::ostream* open_text_destination(const char* sink_name,
                                     const SinkConfig& config,
-                                    std::ofstream& file) {
+                                    std::ofstream& file, std::string& tmp_path,
+                                    std::string& final_path) {
   if (config.stream != nullptr) return config.stream;
   if (config.path.empty()) return &std::cout;
-  file.open(config.path, std::ios::out | std::ios::trunc);
+  std::string open_path = config.path;
+  if (config.append) {
+    file.open(open_path, std::ios::out | std::ios::app);
+  } else {
+    tmp_path = config.path + ".tmp";
+    final_path = config.path;
+    open_path = tmp_path;
+    file.open(open_path, std::ios::out | std::ios::trunc);
+  }
   if (!file)
     throw ScenarioError(std::string("sink '") + sink_name +
-                        "': cannot open '" + config.path + "' for writing");
+                        "': cannot open '" + open_path + "' for writing");
   return &file;
+}
+
+/// finish() tail for text sinks: close the file and, in fresh mode, rename
+/// the temp artifact into place. Clears `final_path` so a second finish()
+/// is a no-op.
+void finalize_text(const char* sink_name, std::ofstream& file,
+                   const std::string& tmp_path, std::string& final_path) {
+  if (file.is_open()) {
+    const bool healthy = static_cast<bool>(file);
+    file.close();
+    if (!healthy)
+      throw ScenarioError(std::string("sink '") + sink_name +
+                          "': write failed (disk full or device error); the "
+                          "partial artifact was kept");
+  }
+  if (final_path.empty()) return;
+  if (std::rename(tmp_path.c_str(), final_path.c_str()) != 0)
+    throw ScenarioError(std::string("sink '") + sink_name +
+                        "': cannot rename '" + tmp_path + "' to '" +
+                        final_path + "'");
+  final_path.clear();
+}
+
+/// Whether PATH already holds bytes (csv append: suppress the header).
+bool file_has_content(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return in.good() && in.peek() != std::ifstream::traits_type::eof();
 }
 
 }  // namespace
@@ -74,25 +113,35 @@ void RecordStream::finish() {
 // ---- CsvSink ----------------------------------------------------------------
 
 CsvSink::CsvSink(const SinkConfig& config)
-    : out_(open_text_destination("csv", config, file_)) {}
+    : batch_rows_(config.batch_rows == 0 ? 1 : config.batch_rows) {
+  suppress_header_ = config.append && config.stream == nullptr &&
+                     !config.path.empty() && file_has_content(config.path);
+  out_ = open_text_destination("csv", config, file_, tmp_path_, final_path_);
+}
 
 void CsvSink::begin(const MetricSchema& schema) {
   CS_ASSERT(!writer_.has_value(), "sink: begin() called twice");
-  writer_.emplace(*out_, schema.keys());
+  writer_.emplace(*out_, schema.keys(), /*emit_header=*/!suppress_header_);
 }
 
 void CsvSink::write(const RunRecord& record) {
   CS_ASSERT(writer_.has_value(), "sink: write() before begin()");
   writer_->row(record.cells());
   ++rows_;
+  if (rows_ % batch_rows_ == 0) out_->flush();  // durability cadence
 }
 
-void CsvSink::finish() { out_->flush(); }
+void CsvSink::finish() {
+  out_->flush();
+  finalize_text("csv", file_, tmp_path_, final_path_);
+}
 
 // ---- JsonlSink --------------------------------------------------------------
 
 JsonlSink::JsonlSink(const SinkConfig& config)
-    : out_(open_text_destination("jsonl", config, file_)) {}
+    : batch_rows_(config.batch_rows == 0 ? 1 : config.batch_rows) {
+  out_ = open_text_destination("jsonl", config, file_, tmp_path_, final_path_);
+}
 
 void JsonlSink::begin(const MetricSchema& schema) {
   CS_ASSERT(schema_.empty(), "sink: begin() called twice");
@@ -138,9 +187,13 @@ void JsonlSink::write(const RunRecord& record) {
   line += "}\n";
   *out_ << line;
   ++rows_;
+  if (rows_ % batch_rows_ == 0) out_->flush();  // durability cadence
 }
 
-void JsonlSink::finish() { out_->flush(); }
+void JsonlSink::finish() {
+  out_->flush();
+  finalize_text("jsonl", file_, tmp_path_, final_path_);
+}
 
 // ---- SqliteSink -------------------------------------------------------------
 
@@ -178,27 +231,56 @@ const char* column_affinity(MetricType type) {
 
 }  // namespace
 
-SqliteSink::SqliteSink(const SinkConfig& config) {
+SqliteSink::SqliteSink(const SinkConfig& config)
+    : append_(config.append),
+      batch_rows_(config.batch_rows == 0 ? 64 : config.batch_rows) {
   if (config.stream != nullptr || config.path.empty())
     throw ScenarioError(
         "sink 'sqlite' writes a database file; pass an output path (--out "
         "PATH or the suite file's \"output\" key)");
-  if (sqlite3_open(config.path.c_str(), &db_) != SQLITE_OK) {
+  std::string open_path = config.path;
+  if (!append_) {
+    tmp_path_ = config.path + ".tmp";
+    final_path_ = config.path;
+    open_path = tmp_path_;
+    // A stale temp database from a crashed run would make CREATE TABLE
+    // collide; the committed rows it holds belong to --resume, which reads
+    // it *before* the new sink is constructed.
+    std::remove(tmp_path_.c_str());
+  }
+  if (sqlite3_open(open_path.c_str(), &db_) != SQLITE_OK) {
     const std::string detail =
         db_ != nullptr ? sqlite3_errmsg(db_) : "out of memory";
     sqlite3_close(db_);
     db_ = nullptr;
-    throw ScenarioError("sink 'sqlite': cannot open '" + config.path +
+    throw ScenarioError("sink 'sqlite': cannot open '" + open_path +
                         "': " + detail);
   }
+  // Concurrent shard writers appending to one database contend for the
+  // write lock; wait out the other writer's commit instead of failing.
+  sqlite3_busy_timeout(db_, 5000);
 }
 
 SqliteSink::~SqliteSink() {
-  try {
-    finish();
-  } catch (const ScenarioError& e) {
-    log_error("sqlite sink teardown: ", e.what());
+  if (db_ == nullptr) return;  // finish() already succeeded
+  // The abort path of the partial-output contract: roll back the open
+  // transaction (keeping every previously committed batch), release the
+  // handle, and do NOT rename — PATH keeps its last complete artifact and
+  // PATH.tmp holds the durable prefix for --resume.
+  if (insert_ != nullptr) {
+    sqlite3_finalize(insert_);
+    insert_ = nullptr;
   }
+  if (in_transaction_) {
+    in_transaction_ = false;
+    char* err = nullptr;
+    if (sqlite3_exec(db_, "ROLLBACK", nullptr, nullptr, &err) != SQLITE_OK)
+      log_error("sqlite sink teardown: rollback failed: ",
+                err != nullptr ? err : "unknown error");
+    sqlite3_free(err);
+  }
+  sqlite3_close(db_);
+  db_ = nullptr;
 }
 
 void SqliteSink::exec(const std::string& sql) {
@@ -228,15 +310,62 @@ void SqliteSink::begin(const MetricSchema& schema) {
   }
   create += ")";
   insert += ")";
-  exec("DROP TABLE IF EXISTS runs");
-  exec(create);
-  // One transaction for the whole suite: per-row commits would fsync every
-  // run and dominate large sweeps.
+  if (append_) {
+    create_or_validate_table(schema, create);
+  } else {
+    // The temp database is fresh, but DROP keeps a re-used handle honest.
+    exec("DROP TABLE IF EXISTS runs");
+    exec(create);
+  }
+  // Batched transactions: per-row commits would fsync every run and
+  // dominate large sweeps, while one suite-wide transaction would leave
+  // nothing durable after a crash. Every batch_rows_ rows, write() commits
+  // and reopens (a durability point for --resume).
   exec("BEGIN TRANSACTION");
   in_transaction_ = true;
   if (sqlite3_prepare_v2(db_, insert.c_str(), -1, &insert_, nullptr) !=
       SQLITE_OK)
     sqlite_fail(db_, "cannot prepare row insert");
+}
+
+void SqliteSink::create_or_validate_table(const MetricSchema& schema,
+                                          const std::string& create_sql) {
+  sqlite3_stmt* info = nullptr;
+  if (sqlite3_prepare_v2(db_, "PRAGMA table_info(runs)", -1, &info, nullptr) !=
+      SQLITE_OK)
+    sqlite_fail(db_, "cannot inspect the existing 'runs' table");
+  std::vector<std::pair<std::string, std::string>> existing;  // (name, type)
+  while (sqlite3_step(info) == SQLITE_ROW) {
+    const unsigned char* name = sqlite3_column_text(info, 1);
+    const unsigned char* type = sqlite3_column_text(info, 2);
+    existing.emplace_back(
+        name != nullptr ? reinterpret_cast<const char*>(name) : "",
+        type != nullptr ? reinterpret_cast<const char*>(type) : "");
+  }
+  sqlite3_finalize(info);
+  if (existing.empty()) {  // no table yet — the first writer creates it
+    exec(create_sql);
+    return;
+  }
+  const auto mismatch = [](const std::string& what) {
+    throw ScenarioError(
+        "sink 'sqlite': existing 'runs' table does not match the suite "
+        "schema (" + what +
+        "); appending would interleave incompatible rows — point the output "
+        "at a fresh database or drop the table");
+  };
+  if (existing.size() != schema.size())
+    mismatch("it has " + std::to_string(existing.size()) +
+             " columns where the schema has " + std::to_string(schema.size()));
+  for (std::size_t i = 0; i < schema.size(); ++i) {
+    const MetricSpec& spec = schema.spec(i);
+    if (existing[i].first != spec.key)
+      mismatch("column " + std::to_string(i) + " is '" + existing[i].first +
+               "' where the schema has '" + spec.key + "'");
+    if (existing[i].second != column_affinity(spec.type))
+      mismatch("column '" + spec.key + "' is " + existing[i].second +
+               " where the schema needs " + column_affinity(spec.type));
+  }
 }
 
 void SqliteSink::write(const RunRecord& record) {
@@ -277,6 +406,10 @@ void SqliteSink::write(const RunRecord& record) {
     sqlite_fail(db_, "cannot insert row");
   sqlite3_reset(insert_);
   ++rows_;
+  if (rows_ % batch_rows_ == 0) {  // durability point
+    exec("COMMIT");
+    exec("BEGIN TRANSACTION");
+  }
 }
 
 void SqliteSink::finish() {
@@ -291,6 +424,12 @@ void SqliteSink::finish() {
   }
   sqlite3_close(db_);
   db_ = nullptr;
+  if (!final_path_.empty()) {
+    if (std::rename(tmp_path_.c_str(), final_path_.c_str()) != 0)
+      throw ScenarioError("sink 'sqlite': cannot rename '" + tmp_path_ +
+                          "' to '" + final_path_ + "'");
+    final_path_.clear();
+  }
 }
 
 #endif  // COLSCORE_HAVE_SQLITE

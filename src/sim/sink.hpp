@@ -42,10 +42,24 @@ namespace colscore {
 
 /// Streaming consumer of suite rows. Lifecycle: begin(schema) once, then
 /// write() per row (in run-index order — SuiteRunner guarantees it), then
-/// finish() once. finish() is where buffered sinks flush/commit; destructors
-/// call it defensively, but call it explicitly to observe errors. Rows'
-/// records must be shaped like the begin() schema (RecordStream guarantees
-/// it).
+/// finish() once. Rows' records must be shaped like the begin() schema
+/// (RecordStream guarantees it).
+///
+/// Durability / partial-output contract (crash tolerance):
+///  - A file sink in fresh mode writes to `PATH.tmp` and atomically renames
+///    it to PATH in finish(). PATH therefore only ever holds a *complete*
+///    artifact; a crashed or aborted suite leaves PATH.tmp behind instead.
+///  - Rows become durable on a batch cadence (SinkConfig::batch_rows): text
+///    sinks flush the stream every batch (default: every row), sqlite
+///    commits a transaction every batch (default: 64 rows). After a crash,
+///    PATH.tmp holds every row durable at the last cadence point — in run
+///    order with no gaps — and `--resume` accepts PATH or PATH.tmp.
+///  - finish() is the explicit success path; call it to observe errors.
+///    Destructors without finish() are the *abort* path: they release
+///    resources but do not rename, so a failed suite never clobbers a
+///    previous complete artifact.
+/// Append mode (SinkConfig::append) writes into PATH directly (no .tmp, no
+/// rename) so cooperating writers — shards — can extend one artifact.
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
@@ -66,6 +80,14 @@ class ResultSink {
 struct SinkConfig {
   std::string path;
   std::ostream* stream = nullptr;
+  /// Extend an existing artifact at `path` instead of replacing it: no
+  /// .tmp/rename, csv suppresses its header when the file already has rows,
+  /// sqlite keeps (and validates) an existing `runs` table. Ignored for
+  /// stream/stdout destinations.
+  bool append = false;
+  /// Rows per durability batch (see the ResultSink contract). 0 picks the
+  /// sink's default: 1 for text sinks, 64 for sqlite.
+  std::size_t batch_rows = 0;
 };
 
 // ---- selection + summary ----------------------------------------------------
@@ -122,6 +144,10 @@ class CsvSink : public ResultSink {
  private:
   std::ofstream file_;
   std::ostream* out_;
+  std::string tmp_path_;    // rename tmp_path_ -> final_path_ in finish()
+  std::string final_path_;  // empty: stream/stdout/append, nothing to rename
+  bool suppress_header_ = false;  // appending to a file that already has one
+  std::size_t batch_rows_ = 1;
   std::optional<CsvWriter> writer_;
 };
 
@@ -141,6 +167,9 @@ class JsonlSink : public ResultSink {
  private:
   std::ofstream file_;
   std::ostream* out_;
+  std::string tmp_path_;
+  std::string final_path_;
+  std::size_t batch_rows_ = 1;
   MetricSchema schema_;
 };
 
@@ -150,9 +179,19 @@ class JsonlSink : public ResultSink {
 /// TEXT for strings; absent metrics are NULL. u64 values are stored as
 /// sqlite's signed 64-bit integers (two's-complement bit pattern), so a
 /// value >= 2^63 reads back exactly via a cast of sqlite3_column_int64 but
-/// *prints* negative in raw SQL. The whole suite inserts inside one
-/// transaction; finish() commits. An existing `runs` table is dropped first
-/// so a re-run reproduces the file.
+/// *prints* negative in raw SQL.
+///
+/// Fresh mode builds the database at PATH.tmp (replacing a stale one) and
+/// renames it over PATH in finish(), so a re-run reproduces the file and a
+/// crash never leaves PATH half-written. Append mode opens PATH itself and
+/// keeps an existing `runs` table — after validating that its columns match
+/// the suite schema exactly (a mismatch throws a ScenarioError naming the
+/// first divergence rather than failing on insert). Inserts run in batched
+/// transactions (SinkConfig::batch_rows, default 64): each commit is a
+/// durability point for resume. A 5s busy timeout tolerates concurrent
+/// shard writers appending to one database. The destructor without
+/// finish() rolls the open transaction back and does not rename (the abort
+/// path of the partial-output contract).
 class SqliteSink : public ResultSink {
  public:
   explicit SqliteSink(const SinkConfig& config);
@@ -164,10 +203,16 @@ class SqliteSink : public ResultSink {
 
  private:
   void exec(const std::string& sql);
+  void create_or_validate_table(const MetricSchema& schema,
+                                const std::string& create_sql);
 
   sqlite3* db_ = nullptr;
   sqlite3_stmt* insert_ = nullptr;
   std::vector<MetricType> types_;
+  std::string tmp_path_;
+  std::string final_path_;  // empty in append mode: nothing to rename
+  bool append_ = false;
+  std::size_t batch_rows_ = 64;
   bool in_transaction_ = false;
 };
 #endif  // COLSCORE_HAVE_SQLITE

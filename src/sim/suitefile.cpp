@@ -5,15 +5,18 @@
 #include <sstream>
 
 #include "src/common/json.hpp"
+#include "src/sim/fault.hpp"
+#include "src/sim/resume.hpp"
 
 namespace colscore {
 
 namespace {
 
 constexpr const char* kAcceptedKeys[] = {
-    "name",    "description", "base", "grids",        "reps",      "threads",
-    "sink",    "output",      "wall", "derive_seeds", "seed_salt", "columns",
-    "summary",
+    "name",    "description", "base",    "grids",        "reps",
+    "threads", "sink",        "output",  "wall",         "derive_seeds",
+    "seed_salt", "columns",   "summary", "retries",      "timeout_s",
+    "backoff_s", "faults",
 };
 
 [[noreturn]] void fail(const std::string& origin, const std::string& what) {
@@ -54,6 +57,17 @@ std::uint64_t require_integer(const std::string& origin, const char* key,
     fail(origin, std::string("\"") + key + "\" must be a non-negative "
                      "integer (got " + v.text + ")");
   return out;
+}
+
+/// A non-negative number ("0.25", "3"); doubles are fine here (durations),
+/// unlike require_integer's count-valued keys.
+double require_number(const std::string& origin, const char* key,
+                      const JsonValue& v) {
+  if (!v.is_number()) wrong_type(origin, key, "a number", v);
+  if (v.number < 0)
+    fail(origin, std::string("\"") + key + "\" must be non-negative (got " +
+                     v.text + ")");
+  return v.number;
 }
 
 /// One base-spec value: strings verbatim, numbers by source spelling,
@@ -113,6 +127,9 @@ SuiteOptions SuiteFile::options() const {
   out.reps = reps;
   out.derive_seeds = derive_seeds;
   if (seed_salt.has_value()) out.seed_salt = *seed_salt;
+  out.retries = retries;
+  out.timeout_s = timeout_s;
+  out.backoff_s = backoff_s;
   return out;
 }
 
@@ -207,6 +224,20 @@ SuiteFile parse_suite_file(std::string_view json_text, std::string origin) {
       } catch (const ScenarioError& e) {
         fail(file.origin, e.what());
       }
+    } else if (key == "retries") {
+      file.retries = static_cast<std::size_t>(
+          require_integer(file.origin, "retries", value));
+    } else if (key == "timeout_s") {
+      file.timeout_s = require_number(file.origin, "timeout_s", value);
+    } else if (key == "backoff_s") {
+      file.backoff_s = require_number(file.origin, "backoff_s", value);
+    } else if (key == "faults") {
+      file.faults = require_string(file.origin, "faults", value);
+      try {
+        (void)FaultPlan::parse(file.faults);
+      } catch (const ScenarioError& e) {
+        fail(file.origin, e.what());
+      }
     }
   }
 
@@ -237,13 +268,22 @@ std::vector<SuiteRun> run_suite_file(const SuiteFile& file,
                                      const SuiteFileOverrides& overrides) {
   SuiteOptions options = file.options();
   if (overrides.threads.has_value()) options.threads = *overrides.threads;
+  if (overrides.retries.has_value()) options.retries = *overrides.retries;
+  if (overrides.timeout_s.has_value()) options.timeout_s = *overrides.timeout_s;
+  if (overrides.backoff_s.has_value()) options.backoff_s = *overrides.backoff_s;
+  if (overrides.shard.has_value()) {
+    options.shard_index = overrides.shard->first;
+    options.shard_count = overrides.shard->second;
+  }
+  const FaultPlan faults = FaultPlan::parse(
+      overrides.faults.has_value() ? *overrides.faults : file.faults);
+  if (!faults.empty()) options.faults = &faults;
 
   SinkConfig config;
   config.path = overrides.output.has_value() ? *overrides.output : file.output;
   config.stream = overrides.stream;
   const std::string sink_name =
       overrides.sink.has_value() ? *overrides.sink : file.sink;
-  const std::unique_ptr<ResultSink> sink = make_sink(sink_name, config);
 
   // The suite's schema (built-ins + every cell's entry metrics, resolved
   // once per distinct entry triple) and the selected columns; selection and
@@ -260,12 +300,36 @@ std::vector<SuiteRun> run_suite_file(const SuiteFile& file,
   if (file.include_wall && !file.columns.empty() &&
       std::find(columns.begin(), columns.end(), "wall_s") == columns.end())
     columns.push_back("wall_s");
+
+  // Plan before the sink exists: resume must read the prior artifact before
+  // a fresh-mode sink truncates PATH.tmp (resuming onto the same path is
+  // the common case).
+  std::vector<SuiteRun> runs = SuiteRunner(options).plan(specs);
+  std::optional<ResumeContext> resume;
+  if (overrides.resume.has_value())
+    resume = prepare_resume(sink_name, *overrides.resume, runs, schema,
+                            columns, file.summary);
+
+  std::unique_ptr<ResultSink> sink = make_sink(sink_name, config);
+  if (faults.has_sink_faults())
+    sink = std::make_unique<FaultInjectingSink>(faults, std::move(sink));
+
   RecordStream stream(*sink, schema, columns,
                       {file.summary, options.reps});
   options.on_result = [&](const SuiteRun& run) {
+    // A kSkipped run inside the shard is a resume substitution: replay the
+    // prior artifact's row byte-for-byte instead of fabricating one.
+    if (run.status == RunStatus::kSkipped && resume.has_value()) {
+      const std::ptrdiff_t ri = resume->plan.prior_row[run.index];
+      if (ri >= 0) {
+        stream.write(widen_prior_row(
+            resume->prior.rows[static_cast<std::size_t>(ri)], schema));
+        return;
+      }
+    }
     stream.write(make_run_record(run, schema));
   };
-  std::vector<SuiteRun> runs = SuiteRunner(options).run(specs);
+  SuiteRunner(options).execute(runs);
   stream.finish();
   return runs;
 }

@@ -31,6 +31,12 @@
 // historical column set), and "summary" ("mean"/"min"/"max": one aggregated
 // row per grid cell instead of one row per rep).
 //
+// Fault tolerance knobs (see SuiteOptions in suite.hpp): "retries" (extra
+// attempts per failed/timed-out run), "timeout_s" (per-run wall-clock
+// budget; post-hoc classification), "backoff_s" (base of the exponential
+// retry delay), and "faults" (a deterministic FaultPlan spec string for
+// chaos tests — validated at parse time like everything else).
+//
 // All validation errors are ScenarioErrors prefixed "suite file 'PATH':"
 // and name the offending key, so a typo in a checked-in suite fails the CI
 // smoke with an actionable message.
@@ -67,6 +73,12 @@ struct SuiteFile {
   SummaryStat summary = SummaryStat::kNone;
   std::string sink = "csv";
   std::string output;  // empty = stdout (file-only sinks reject at run time)
+  /// Run isolation (SuiteOptions mirrors; see suite.hpp).
+  std::size_t retries = 0;
+  double timeout_s = 0.0;
+  double backoff_s = 0.05;
+  /// FaultPlan spec string ("" = no injected faults).
+  std::string faults;
 
   /// Concatenated grid expansions over `base` (file order).
   std::vector<ScenarioSpec> expand() const;
@@ -92,11 +104,26 @@ struct SuiteFileOverrides {
   std::optional<std::string> output;
   std::optional<std::size_t> threads;
   std::ostream* stream = nullptr;
+  std::optional<std::size_t> retries;
+  std::optional<double> timeout_s;
+  std::optional<double> backoff_s;
+  /// FaultPlan spec string; overrides the file's "faults".
+  std::optional<std::string> faults;
+  /// (shard index, shard count) — run only that contiguous slice of the
+  /// flat run-index space (per-run seeds are unchanged).
+  std::optional<std::pair<std::size_t, std::size_t>> shard;
+  /// Path of a prior artifact (PATH or PATH.tmp is read): completed runs
+  /// are not re-executed, their rows are replayed from the artifact, and
+  /// the merged output is written to the configured destination.
+  std::optional<std::string> resume;
 };
 
 /// Expands the file, builds its sink and metric schema, and streams every
 /// run through a RecordStream (column selection + summary applied) into the
-/// sink in run-index order; returns the runs.
+/// sink in run-index order; returns the runs (failure rows included —
+/// check suite_failure_count for the exit code). When resuming, the prior
+/// artifact is read *before* the sink opens, so resuming onto the same
+/// path is safe.
 std::vector<SuiteRun> run_suite_file(const SuiteFile& file,
                                      const SuiteFileOverrides& overrides = {});
 

@@ -20,4 +20,15 @@ void fixture_emit_keys(MetricEmitter& emit, const Scenario& scen) {
   emit.string(kRoundsKey, "forwarded");              // suppressed
 }
 
+void fixture_record_keys(RunRecord& record, const Scenario& scen) {
+  record.set_u64(kRoundsKey, 3);                     // VIOLATION: named const
+  record.set_string(scen.extras.front().key, "x");   // VIOLATION: computed
+  record.set_f64("mean_err", 0.5);                   // literal: fine
+  record.set_size("n", 48);                          // literal: fine
+  // A local helper that shares a setter's name is not a record write; only
+  // receiver-qualified calls are keyed accesses.
+  const auto set_size = [](const char*, std::size_t) {};
+  set_size(kRoundsKey, 7);                           // no receiver: fine
+}
+
 }  // namespace colscore

@@ -33,7 +33,7 @@ std::string run_to_csv(const std::string& scenario_text) {
 constexpr char kHeader[] =
     "workload,algorithm,adversary,n,budget,diameter,dishonest,seed,max_err,"
     "mean_err,max_probes,honest_max_probes,total_probes,board_reports,"
-    "err_over_opt\n";
+    "err_over_opt,status,error\n";
 
 TEST(DeterminismCsv, SleeperSeed3ByteIdentical) {
   // Golden shared with the sink tests (tests/test_util.hpp): all sinks must
@@ -49,7 +49,7 @@ TEST(DeterminismCsv, RandomLiarSeed11ByteIdentical) {
       "seed=11 opt=1");
   EXPECT_EQ(csv, std::string(kHeader) +
                      "planted,calculate_preferences,random_liar,192,4,16,12,11,"
-                     "8,4.06667,1942,1942,340000,69120,0.5\n");
+                     "8,4.06667,1942,1942,340000,69120,0.5,ok,\n");
 }
 
 }  // namespace

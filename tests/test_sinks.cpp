@@ -121,6 +121,12 @@ TEST(JsonlSinkTest, NativeNumbersSpellTheCsvCells) {
     // Keys in column order; numeric columns are native JSON numbers whose
     // source spelling is the exact CSV cell (one formatting path).
     EXPECT_EQ(row.members[i].first, spec.key);
+    if (row.members[i].second.is_null()) {
+      // Absent cells (the ok row's empty `error`) are JSON null; CSV spells
+      // them as the empty cell.
+      EXPECT_EQ(golden[i], "") << spec.key;
+      continue;
+    }
     EXPECT_EQ(row.members[i].second.text, golden[i]) << spec.key;
     const bool numeric = spec.type == MetricType::kU64 ||
                          spec.type == MetricType::kSize ||
@@ -331,7 +337,8 @@ TEST(SinkEquivalence, FixedSeedSuiteIsIdenticalAcrossSinks) {
     while (std::getline(lines, line)) {
       const JsonValue row = json_parse(line);
       std::vector<std::string> cells;
-      for (const auto& [key, value] : row.members) cells.push_back(value.text);
+      for (const auto& [key, value] : row.members)
+        cells.push_back(value.is_null() ? "" : value.text);
       jsonl_rows.push_back(std::move(cells));
     }
   }

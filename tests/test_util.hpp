@@ -13,13 +13,21 @@
 namespace colscore::testutil {
 
 /// Splits one CSV line on commas (no quoting — the golden rows contain
-/// none). Shared by the golden-row consumers (test_sinks, test_record).
+/// none), keeping trailing empty cells (the golden row ends with an empty
+/// `error` cell). Shared by the golden-row consumers (test_sinks,
+/// test_record).
 inline std::vector<std::string> split_csv_line(const std::string& line) {
   std::vector<std::string> cells;
-  std::stringstream in(line);
-  std::string cell;
-  while (std::getline(in, cell, ',')) cells.push_back(cell);
-  return cells;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t comma = line.find(',', start);
+    if (comma == std::string::npos) {
+      cells.push_back(line.substr(start));
+      return cells;
+    }
+    cells.push_back(line.substr(start, comma - start));
+    start = comma + 1;
+  }
 }
 
 // Fixed-seed golden pinned by test_determinism_csv and reused by the sink
@@ -31,7 +39,7 @@ inline constexpr char kGoldenScenario[] =
     "opt=1";
 inline constexpr char kGoldenRow[] =
     "planted,calculate_preferences,sleeper,128,4,16,8,3,8,3.94167,1310,1310,"
-    "152489,32256,0.533333";
+    "152489,32256,0.533333,ok,";
 
 struct Harness {
   World world;

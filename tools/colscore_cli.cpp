@@ -28,7 +28,9 @@
 #include <vector>
 
 #include "src/common/csv.hpp"
+#include "src/sim/fault.hpp"
 #include "src/sim/registry.hpp"
+#include "src/sim/resume.hpp"
 #include "src/sim/sink.hpp"
 #include "src/sim/suite.hpp"
 #include "src/sim/suitefile.hpp"
@@ -65,6 +67,18 @@ namespace {
       "                      --sink/--out/--threads override the file's choices\n"
       "  --threads T         suite worker threads (default: hardware; 1 = serial)\n"
       "  --raw-seeds         do not derive per-run seeds from the grid index\n"
+      "fault tolerance (a failed run becomes a status/error row; exit code 1):\n"
+      "  --retries N         extra attempts per failed/timed-out run (default 0)\n"
+      "  --timeout-s X       per-run wall-clock budget in seconds (0 = off);\n"
+      "                      classification is post-hoc, the run is not preempted\n"
+      "  --backoff-s X       retry k sleeps X*2^(k-1) seconds first (default 0.05)\n"
+      "  --faults SPEC       deterministic fault injection, e.g. \"throw@3,delay@7=1x2\"\n"
+      "                      (also read from COLSCORE_FAULTS when the flag is absent)\n"
+      "  --shard I/K         run only shard I of K (contiguous slice of the flat\n"
+      "                      run-index space; per-run seeds are unchanged, so K\n"
+      "                      shard outputs concatenate to the unsharded rows)\n"
+      "  --resume PATH       re-run only the missing/failed rows of a prior artifact\n"
+      "                      (PATH or PATH.tmp is read; merged output is rewritten)\n"
       "output:\n"
       "  --sink NAME         result sink for machine-readable rows (see --list-sinks)\n"
       "  --out PATH          sink destination (default: stdout; sqlite requires a path)\n"
@@ -99,6 +113,16 @@ void print_human(const SuiteRun& run, bool show_rep) {
   const Scenario& sc = run.scenario;
   const ExperimentOutcome& out = run.outcome;
   if (show_rep) std::printf("[rep %zu] ", run.rep);
+  if (run.status != RunStatus::kOk) {
+    std::printf(
+        "%s/%s/%s n=%zu B=%zu D=%zu dishonest=%zu seed=%llu\n"
+        "  status=%s attempts=%zu error: %s\n",
+        sc.workload.c_str(), sc.algorithm.c_str(), sc.adversary.c_str(), sc.n,
+        sc.budget, sc.diameter, sc.dishonest,
+        static_cast<unsigned long long>(sc.seed), run_status_name(run.status),
+        run.attempts, run.error.c_str());
+    return;
+  }
   std::printf(
       "%s/%s/%s n=%zu B=%zu D=%zu dishonest=%zu seed=%llu\n"
       "  max_err=%zu mean_err=%.2f max_probes=%llu err/opt=%.2f wall=%.2fs\n",
@@ -107,6 +131,18 @@ void print_human(const SuiteRun& run, bool show_rep) {
       static_cast<unsigned long long>(sc.seed), out.error.max_error,
       out.error.mean_error, static_cast<unsigned long long>(out.max_probes),
       out.approx_ratio, out.wall_seconds);
+}
+
+/// Exit status for a finished sweep: 0 when every run completed, 1 with a
+/// stderr summary when any run exhausted its retries.
+int sweep_exit_code(const std::vector<SuiteRun>& runs) {
+  const std::size_t failures = suite_failure_count(runs);
+  if (failures == 0) return 0;
+  std::fprintf(stderr,
+               "colscore_cli: %zu of %zu runs failed (status/error columns "
+               "name them); re-run with --resume to retry just those\n",
+               failures, runs.size());
+  return 1;
 }
 
 int run(int argc, char** argv) {
@@ -118,6 +154,12 @@ int run(int argc, char** argv) {
   std::optional<std::string> out_path;
   std::optional<std::size_t> threads_flag;
   std::optional<std::string> columns_flag;
+  std::optional<std::size_t> retries_flag;
+  std::optional<double> timeout_flag;
+  std::optional<double> backoff_flag;
+  std::optional<std::string> faults_flag;
+  std::optional<std::pair<std::size_t, std::size_t>> shard_flag;
+  std::optional<std::string> resume_flag;
   SummaryStat summary = SummaryStat::kNone;
   bool csv = false;
   bool wall = false;
@@ -135,6 +177,31 @@ int run(int argc, char** argv) {
     auto set_override = [&](const char* key) {
       spec_touched = true;
       spec.set(key, next());
+    };
+    auto next_size = [&]() -> std::size_t {
+      const std::string value = next();
+      std::size_t used = 0;
+      std::size_t out = 0;
+      try {
+        if (value.empty() || value[0] == '-') throw ScenarioError("");
+        out = std::stoull(value, &used);
+      } catch (...) {
+        used = 0;
+      }
+      if (used != value.size()) usage(argv[0]);
+      return out;
+    };
+    auto next_seconds = [&]() -> double {
+      const std::string value = next();
+      std::size_t used = 0;
+      double out = 0.0;
+      try {
+        out = std::stod(value, &used);
+      } catch (...) {
+        used = 0;
+      }
+      if (value.empty() || used != value.size() || out < 0) usage(argv[0]);
+      return out;
     };
 
     if (arg == "--workload") { spec_touched = true; spec.workload = next(); }
@@ -183,6 +250,21 @@ int run(int argc, char** argv) {
       options.threads = threads;
       threads_flag = threads;
     }
+    else if (arg == "--retries") {
+      options.retries = next_size();
+      retries_flag = options.retries;
+    } else if (arg == "--timeout-s") {
+      options.timeout_s = next_seconds();
+      timeout_flag = options.timeout_s;
+    } else if (arg == "--backoff-s") {
+      options.backoff_s = next_seconds();
+      backoff_flag = options.backoff_s;
+    } else if (arg == "--faults") faults_flag = next();
+    else if (arg == "--shard") {
+      shard_flag = parse_shard(next());
+      options.shard_index = shard_flag->first;
+      options.shard_count = shard_flag->second;
+    } else if (arg == "--resume") resume_flag = next();
     else if (arg == "--raw-seeds") { options.derive_seeds = false; raw_seeds = true; }
     else if (arg == "--csv") csv = true;
     else if (arg == "--wall") wall = true;
@@ -206,6 +288,13 @@ int run(int argc, char** argv) {
     } else {
       usage(argv[0]);
     }
+  }
+
+  // COLSCORE_FAULTS lets the chaos/crash tests inject faults into an
+  // unmodified command line; an explicit --faults wins.
+  if (!faults_flag.has_value()) {
+    const char* env = std::getenv("COLSCORE_FAULTS");
+    if (env != nullptr && *env != '\0') faults_flag = std::string(env);
   }
 
   // ---- schema listing --------------------------------------------------------
@@ -265,8 +354,14 @@ int run(int argc, char** argv) {
     overrides.sink = sink_name;
     overrides.output = out_path;
     overrides.threads = threads_flag;
-    run_suite_file(load_suite_file(suite_path), overrides);
-    return 0;
+    overrides.retries = retries_flag;
+    overrides.timeout_s = timeout_flag;
+    overrides.backoff_s = backoff_flag;
+    overrides.faults = faults_flag;
+    overrides.shard = shard_flag;
+    overrides.resume = resume_flag;
+    return sweep_exit_code(run_suite_file(load_suite_file(suite_path),
+                                          overrides));
   }
 
   // Single runs keep their literal seed; grids derive per-cell seeds.
@@ -293,13 +388,19 @@ int run(int argc, char** argv) {
 
   const std::vector<ScenarioSpec> specs = expand_grid(spec, axes);
 
+  FaultPlan faults;  // outlives the runner below
+  if (faults_flag.has_value()) faults = FaultPlan::parse(*faults_flag);
+  if (!faults.empty()) options.faults = &faults;
+
+  // Plan before the sink exists: --resume reads the prior artifact before
+  // a fresh sink truncates PATH.tmp.
+  std::vector<SuiteRun> runs = SuiteRunner(options).plan(specs);
+
   std::unique_ptr<ResultSink> sink;
   MetricSchema schema;
   std::optional<RecordStream> stream;
+  std::optional<ResumeContext> resume;
   if (sink_name.has_value()) {
-    SinkConfig config;
-    if (out_path.has_value()) config.path = *out_path;
-    sink = make_sink(*sink_name, config);
     // The sweep's schema (built-ins + every cell's entry metrics, resolved
     // once per distinct entry triple); column selection and the per-cell
     // summary run in RecordStream, shared by every sink.
@@ -312,18 +413,42 @@ int run(int argc, char** argv) {
     if (wall && columns_flag.has_value() &&
         std::find(columns.begin(), columns.end(), "wall_s") == columns.end())
       columns.push_back("wall_s");
+    if (resume_flag.has_value())
+      resume = prepare_resume(*sink_name, *resume_flag, runs, schema, columns,
+                              summary);
+    SinkConfig config;
+    if (out_path.has_value()) config.path = *out_path;
+    sink = make_sink(*sink_name, config);
+    if (faults.has_sink_faults())
+      sink = std::make_unique<FaultInjectingSink>(faults, std::move(sink));
     stream.emplace(*sink, schema, columns,
                    RecordStream::Options{summary, options.reps});
+  } else if (resume_flag.has_value()) {
+    throw ScenarioError(
+        "--resume works on a sink artifact; pick the sink it was written "
+        "with (--sink/--csv) and the destination (--out)");
   }
   options.on_result = [&](const SuiteRun& run) {
-    if (stream) stream->write(make_run_record(run, schema));
-    else print_human(run, show_rep);
+    if (stream) {
+      // A kSkipped run inside the shard is a resume substitution: replay
+      // the prior artifact's row byte-for-byte.
+      if (run.status == RunStatus::kSkipped && resume.has_value()) {
+        const std::ptrdiff_t ri = resume->plan.prior_row[run.index];
+        if (ri >= 0) {
+          stream->write(widen_prior_row(
+              resume->prior.rows[static_cast<std::size_t>(ri)], schema));
+          return;
+        }
+      }
+      stream->write(make_run_record(run, schema));
+    } else {
+      print_human(run, show_rep);
+    }
   };
 
-  SuiteRunner runner(options);
-  runner.run(specs);
+  SuiteRunner(options).execute(runs);
   if (stream) stream->finish();
-  return 0;
+  return sweep_exit_code(runs);
 }
 
 }  // namespace
@@ -334,6 +459,11 @@ int main(int argc, char** argv) {
     return colscore::run(argc, argv);
   } catch (const colscore::ScenarioError& e) {
     std::fprintf(stderr, "colscore_cli: %s\n", e.what());
+    return 2;
+  } catch (const std::exception& e) {
+    // A sink failure (real or injected) aborts the sweep mid-stream; the
+    // durable partial artifact (PATH.tmp) survives for --resume.
+    std::fprintf(stderr, "colscore_cli: aborted: %s\n", e.what());
     return 2;
   }
 }

@@ -66,6 +66,10 @@ _EMITTER_METHODS = {"u64", "size", "f64", "boolean", "string"}
 _EMITTER_RECEIVERS = {"emit", "emitter"}
 _EXTRA_GETTERS = {"extra_size", "extra_u64", "extra_double", "extra_bool",
                   "extra_string"}
+# RunRecord's keyed setters (any receiver, but a receiver is required --
+# a free function or local lambda with the same name is not a record write).
+_RECORD_SETTERS = {"set_u64", "set_size", "set_f64", "set_bool",
+                   "set_string"}
 
 
 def _check_literal_keys(sf: SourceFile, ctx: LintContext) -> List[Diagnostic]:
@@ -79,7 +83,8 @@ def _check_literal_keys(sf: SourceFile, ctx: LintContext) -> List[Diagnostic]:
         is_emit = tok.text in _EMITTER_METHODS and i >= 2 \
             and toks[i - 2].text in _EMITTER_RECEIVERS
         is_extra = tok.text in _EXTRA_GETTERS
-        if not (is_emit or is_extra):
+        is_setter = tok.text in _RECORD_SETTERS
+        if not (is_emit or is_extra or is_setter):
             continue
         first = toks[i + 2] if i + 2 < len(toks) else None
         if first is None or first.text == ")":
@@ -95,9 +100,10 @@ def _check_literal_keys(sf: SourceFile, ctx: LintContext) -> List[Diagnostic]:
 RULE_LITERAL_KEYS = Rule(
     rule_id="CL009",
     slug="literal-metric-key",
-    description="Keys passed to MetricEmitter methods and Scenario::extra_* "
-                "getters must be string literals (offline shadowing "
-                "cross-checks need the key text).",
+    description="Keys passed to MetricEmitter methods, Scenario::extra_* "
+                "getters, and RunRecord::set_* setters must be string "
+                "literals (offline shadowing cross-checks need the key "
+                "text).",
     hint="spell the key inline; if several call sites share it, a "
          "constexpr const char* kKey = \"...\" still defeats the offline "
          "check -- duplicate the literal",
