@@ -19,7 +19,7 @@
 
 #include "src/common/bitmatrix.hpp"
 #include "src/common/simd.hpp"
-#include "src/common/thread_pool.hpp"
+#include "src/common/exec_policy.hpp"
 #include "src/protocols/neighbor_graph.hpp"
 
 namespace colscore {
@@ -52,6 +52,9 @@ BitMatrix make_z_family(std::size_t n, std::size_t groups, std::uint64_t seed) {
   return z;
 }
 
+// Kernel benches build serially: measure the sweep, not the box's cores.
+const ExecPolicy kSerial = ExecPolicy::serial();
+
 std::size_t min_cluster_for(std::size_t n, std::size_t groups) {
   // (n/B) * (1 - cluster_slack) with the default slack of 1/3.
   return std::max<std::size_t>(2, n / groups * 2 / 3);
@@ -64,13 +67,12 @@ std::string config_label(GraphBackend resolved) {
 }
 
 void BM_NeighborGraphBuild(benchmark::State& state) {
-  ThreadPool::reset_global(1);
   const auto n = static_cast<std::size_t>(state.range(0));
   const BitMatrix z = make_z_family(n, kGroups, 42);
   std::size_t edges = 0;
   GraphBackend resolved = GraphBackend::kAuto;
   for (auto _ : state) {
-    const NeighborGraph graph(z, kTau);
+    const NeighborGraph graph(z, kTau, GraphBackend::kAuto, kSerial);
     resolved = graph.backend();
     edges = 0;
     for (PlayerId p = 0; p < n; ++p) edges += graph.degree(p);
@@ -81,14 +83,12 @@ void BM_NeighborGraphBuild(benchmark::State& state) {
   state.counters["pairs_per_s"] = benchmark::Counter(
       static_cast<double>(n) * static_cast<double>(n - 1) / 2.0,
       benchmark::Counter::kIsIterationInvariantRate);
-  ThreadPool::reset_global(0);
 }
 
 void BM_ClusterPlayers(benchmark::State& state) {
-  ThreadPool::reset_global(1);
   const auto n = static_cast<std::size_t>(state.range(0));
   const BitMatrix z = make_z_family(n, kGroups, 42);
-  const NeighborGraph graph(z, kTau);
+  const NeighborGraph graph(z, kTau, GraphBackend::kAuto, kSerial);
   std::size_t clusters = 0;
   for (auto _ : state) {
     const Clustering c = cluster_players(graph, min_cluster_for(n, kGroups));
@@ -97,36 +97,32 @@ void BM_ClusterPlayers(benchmark::State& state) {
   }
   state.SetLabel(config_label(graph.backend()));
   state.counters["clusters"] = static_cast<double>(clusters);
-  ThreadPool::reset_global(0);
 }
 
 void BM_GraphPlusCluster(benchmark::State& state) {
-  ThreadPool::reset_global(1);
   const auto n = static_cast<std::size_t>(state.range(0));
   const BitMatrix z = make_z_family(n, kGroups, 42);
   GraphBackend resolved = GraphBackend::kAuto;
   for (auto _ : state) {
-    const NeighborGraph graph(z, kTau);
+    const NeighborGraph graph(z, kTau, GraphBackend::kAuto, kSerial);
     resolved = graph.backend();
     const Clustering c = cluster_players(graph, min_cluster_for(n, kGroups));
     benchmark::DoNotOptimize(c.clusters.size());
   }
   state.SetLabel(config_label(resolved));
-  ThreadPool::reset_global(0);
 }
 
 /// The sparse pinned grid, parameterized by backend and (optionally) a
 /// forced scalar tier so the baseline measures the pre-PR 7 code path.
 void sparse_graph_plus_cluster(benchmark::State& state, GraphBackend backend,
                                bool force_scalar) {
-  ThreadPool::reset_global(1);
   const simd::Tier saved = simd::active_tier();
   if (force_scalar) simd::set_tier(simd::Tier::kScalar);
   const BitMatrix z = make_z_family(kSparseN, kSparseGroups, 42);
   GraphBackend resolved = GraphBackend::kAuto;
   std::size_t edges = 0;
   for (auto _ : state) {
-    const NeighborGraph graph(z, kSparseTau, backend);
+    const NeighborGraph graph(z, kSparseTau, backend, kSerial);
     resolved = graph.backend();
     edges = 0;
     for (PlayerId p = 0; p < kSparseN; ++p) edges += graph.degree(p);
@@ -140,7 +136,6 @@ void sparse_graph_plus_cluster(benchmark::State& state, GraphBackend backend,
       static_cast<double>(kSparseN) * static_cast<double>(kSparseN - 1) / 2.0,
       benchmark::Counter::kIsIterationInvariantRate);
   simd::set_tier(saved);
-  ThreadPool::reset_global(0);
 }
 
 // Pre-PR 7 code path: scalar kernels + dense BitMatrix adjacency.

@@ -12,9 +12,11 @@
 // Release (-O3 + LTO) for recorded numbers.
 #include <benchmark/benchmark.h>
 
+#include <array>
 #include <sstream>
 #include <string>
 
+#include "src/common/exec_policy.hpp"
 #include "src/common/simd.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/sim/sink.hpp"
@@ -33,7 +35,6 @@ std::vector<ScenarioSpec> pinned_specs() {
 }
 
 void BM_SuiteThroughput(benchmark::State& state) {
-  ThreadPool::reset_global(1);
   const std::vector<ScenarioSpec> specs = pinned_specs();
   SuiteOptions options;
   options.threads = 1;  // single thread: measure work, not the box's cores
@@ -51,7 +52,6 @@ void BM_SuiteThroughput(benchmark::State& state) {
   state.counters["total_probes"] = static_cast<double>(total_probes);
   state.counters["runs_per_s"] = benchmark::Counter(
       static_cast<double>(runs), benchmark::Counter::kIsIterationInvariantRate);
-  ThreadPool::reset_global(0);
 }
 
 // The same grid driven through the reps= replication axis (PR 3): 6 cells x
@@ -59,7 +59,6 @@ void BM_SuiteThroughput(benchmark::State& state) {
 // multi-seed sweeps, and a check that replication adds no overhead beyond
 // the runs themselves.
 void BM_SuiteThroughputReps(benchmark::State& state) {
-  ThreadPool::reset_global(1);
   const std::vector<ScenarioSpec> specs = expand_grid(
       ScenarioSpec::parse(kBaseSpec),
       parse_grid("n=256,512 x adversary=none,hijacker,sleeper"));
@@ -75,7 +74,6 @@ void BM_SuiteThroughputReps(benchmark::State& state) {
   state.counters["runs"] = static_cast<double>(runs);
   state.counters["runs_per_s"] = benchmark::Counter(
       static_cast<double>(runs), benchmark::Counter::kIsIterationInvariantRate);
-  ThreadPool::reset_global(0);
 }
 
 // The pinned grid streamed through a result sink (PR 4; typed schema since
@@ -84,7 +82,6 @@ void BM_SuiteThroughputReps(benchmark::State& state) {
 // — it must stay noise against the runs themselves (row formatting is
 // microseconds per run).
 void BM_SuiteThroughputJsonlSink(benchmark::State& state) {
-  ThreadPool::reset_global(1);
   const std::vector<ScenarioSpec> specs = pinned_specs();
   const MetricSchema schema = [&] {
     std::vector<Scenario> resolved;
@@ -114,7 +111,6 @@ void BM_SuiteThroughputJsonlSink(benchmark::State& state) {
   state.counters["row_bytes"] = static_cast<double>(bytes);
   state.counters["runs_per_s"] = benchmark::Counter(
       static_cast<double>(runs), benchmark::Counter::kIsIterationInvariantRate);
-  ThreadPool::reset_global(0);
 }
 
 // Sparse-regime suite throughput (PR 7): large n, many thin planted
@@ -123,7 +119,6 @@ void BM_SuiteThroughputJsonlSink(benchmark::State& state) {
 // seeds keep the wall time sane (a single n=2048 run is seconds); the
 // label pins the dispatched tier so trajectories compare across machines.
 void BM_SuiteThroughputSparse(benchmark::State& state) {
-  ThreadPool::reset_global(1);
   const std::vector<ScenarioSpec> specs = expand_grid(
       ScenarioSpec::parse("workload=planted budget=8 dishonest=8 opt=0 "
                           "n=2048 clusters=128"),
@@ -140,10 +135,46 @@ void BM_SuiteThroughputSparse(benchmark::State& state) {
   state.counters["runs"] = static_cast<double>(runs);
   state.counters["runs_per_s"] = benchmark::Counter(
       static_cast<double>(runs), benchmark::Counter::kIsIterationInvariantRate);
-  ThreadPool::reset_global(0);
+}
+
+// Two SuiteRunners on disjoint pools driven concurrently (PR 9): the
+// ExecPolicy seam end-to-end — per-suite pools and policy-owned workspace
+// arenas, no ambient global state shared between the suites. The label and
+// counters carry the policy shape so bench_to_json trajectories can split
+// on it.
+void BM_SuiteThroughputConcurrent(benchmark::State& state) {
+  const std::vector<ScenarioSpec> specs = pinned_specs();
+  ThreadPool outer(2);
+  ThreadPool pool_a(2);
+  ThreadPool pool_b(2);
+  const ExecPolicy outer_policy = ExecPolicy::pool(outer);
+  const ExecPolicy policy_a = ExecPolicy::pool(pool_a);
+  const ExecPolicy policy_b = ExecPolicy::pool(pool_b);
+  const std::array<const ExecPolicy*, 2> policies = {&policy_a, &policy_b};
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    std::array<std::size_t, 2> suite_runs = {0, 0};
+    outer_policy.par_for(
+        0, policies.size(),
+        [&](std::size_t s) {
+          SuiteOptions options;
+          options.policy = policies[s];
+          suite_runs[s] = SuiteRunner(options).run(specs).size();
+        },
+        /*grain=*/1);
+    runs = suite_runs[0] + suite_runs[1];
+    benchmark::DoNotOptimize(runs);
+  }
+  state.SetLabel("policy=pool suites=2 workers_per_suite=2");
+  state.counters["runs"] = static_cast<double>(runs);
+  state.counters["suites"] = static_cast<double>(policies.size());
+  state.counters["workers_per_suite"] = 2.0;
+  state.counters["runs_per_s"] = benchmark::Counter(
+      static_cast<double>(runs), benchmark::Counter::kIsIterationInvariantRate);
 }
 
 BENCHMARK(BM_SuiteThroughput)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SuiteThroughputConcurrent)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_SuiteThroughputSparse)->Unit(benchmark::kMillisecond)
     ->Iterations(1);
 BENCHMARK(BM_SuiteThroughputReps)->Unit(benchmark::kMillisecond);

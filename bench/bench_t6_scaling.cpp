@@ -11,6 +11,7 @@
 // Outputs are identical across thread counts (ThreadDeterminism test).
 #include <benchmark/benchmark.h>
 
+#include "src/common/exec_policy.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/common/timer.hpp"
 #include "src/metrics/optimal.hpp"
@@ -22,7 +23,8 @@ namespace {
 
 void BM_NeighborGraphKernel(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
-  ThreadPool::reset_global(threads);
+  ThreadPool pool(threads);
+  const ExecPolicy policy = ExecPolicy::pool(pool);
   const std::size_t n = 3072, dim = 768;
   Rng rng(1);
   std::vector<BitVector> z;
@@ -32,7 +34,7 @@ void BM_NeighborGraphKernel(benchmark::State& state) {
   double seconds = 0;
   for (auto _ : state) {
     Timer timer;
-    const NeighborGraph graph(z, dim / 3);
+    const NeighborGraph graph(z, dim / 3, GraphBackend::kAuto, policy);
     benchmark::DoNotOptimize(graph.degree(0));
     seconds = timer.seconds();
   }
@@ -40,29 +42,29 @@ void BM_NeighborGraphKernel(benchmark::State& state) {
   state.counters["wall_s"] = seconds;
   state.counters["pairs_per_s"] =
       static_cast<double>(n) * static_cast<double>(n) / seconds;
-  ThreadPool::reset_global(0);
 }
 
 void BM_OptRadiusKernel(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
-  ThreadPool::reset_global(threads);
+  ThreadPool pool(threads);
+  const ExecPolicy policy = ExecPolicy::pool(pool);
   const World world = planted_clusters(2048, 2048, 8, 16, Rng(2));
 
   double seconds = 0;
   for (auto _ : state) {
     Timer timer;
-    const OptEstimate est = opt_radius(world.matrix, 256);
+    const OptEstimate est = opt_radius(world.matrix, 256, policy);
     benchmark::DoNotOptimize(est.max_radius);
     seconds = timer.seconds();
   }
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["wall_s"] = seconds;
-  ThreadPool::reset_global(0);
 }
 
 void BM_FullProtocol(benchmark::State& state) {
   const auto threads = static_cast<std::size_t>(state.range(0));
-  ThreadPool::reset_global(threads);
+  ThreadPool pool(threads);
+  const ExecPolicy policy = ExecPolicy::pool(pool);
 
   Scenario scenario;
   scenario.n = 512;
@@ -73,13 +75,12 @@ void BM_FullProtocol(benchmark::State& state) {
 
   double seconds = 0;
   for (auto _ : state) {
-    const ExperimentOutcome out = run_scenario(scenario);
+    const ExperimentOutcome out = run_scenario(scenario, policy);
     seconds = out.wall_seconds;
     state.counters["max_err"] = static_cast<double>(out.error.max_error);
   }
   state.counters["threads"] = static_cast<double>(threads);
   state.counters["wall_s"] = seconds;
-  ThreadPool::reset_global(0);
 }
 
 void BM_SuiteGrid(benchmark::State& state) {

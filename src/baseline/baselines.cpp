@@ -5,7 +5,6 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/mathutil.hpp"
-#include "src/common/thread_pool.hpp"
 #include "src/protocols/work_share.hpp"
 
 namespace colscore {
@@ -39,7 +38,7 @@ ProtocolResult probe_all(ProtocolEnv& env) {
   ProtocolResult result;
   const auto before = probe_snapshot(env.oracle);
   result.outputs.assign(n, BitVector(n_objects));
-  parallel_for(0, n, [&](std::size_t p) {
+  env.par_for(0, n, [&](std::size_t p) {
     env.own_probe_row(static_cast<PlayerId>(p), 0, n_objects, result.outputs[p]);
   });
   fill_probe_deltas(result, env.oracle, before);
@@ -77,7 +76,7 @@ ProtocolResult oracle_clusters(ProtocolEnv& env, const World& world,
     for (PlayerId p : members) result.outputs[p] = prediction;
   }
   // Background players get no collaboration: they probe everything.
-  parallel_for(0, n, [&](std::size_t p) {
+  env.par_for(0, n, [&](std::size_t p) {
     if (world.cluster_of[p] != kNoCluster) return;
     env.own_probe_row(static_cast<PlayerId>(p), 0, n_objects, result.outputs[p]);
   });
@@ -155,7 +154,7 @@ SampleShareResult sample_and_share(ProtocolEnv& env, const SampleShareParams& pa
   const std::size_t group_size = std::max<std::size_t>(2, n / params.budget);
   result.outputs.assign(n, BitVector(n_objects));
   std::vector<std::size_t> uncovered(n, 0);
-  parallel_for(0, n, [&](std::size_t p) {
+  env.par_for(0, n, [&](std::size_t p) {
     // Rank everyone by sample distance to p's own answers.
     std::vector<std::pair<std::size_t, PlayerId>> ranked;
     ranked.reserve(n);

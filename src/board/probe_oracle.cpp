@@ -58,7 +58,12 @@ void ProbeOracle::gather_into(PlayerId p, std::span<const ObjectId> objects,
   // quarter of the row's word count; only tiny slates against very wide
   // rows read bit by bit.
   if (objects.size() >= 4 && 4 * objects.size() >= row_words) {
-    auto& staging = RunWorkspace::current().probe_row_words;
+    // Staging scratch comes from the bound policy's per-worker workspace;
+    // before bind_policy (standalone oracle in a test/bench) the default
+    // policy falls back to the caller's private per-thread workspace.
+    const ExecPolicy& policy =
+        policy_ != nullptr ? *policy_ : ExecPolicy::process_default();
+    auto& staging = policy.workspace().probe_row_words;
     staging.resize(row_words);
     truth_->fill_row_words(p, 0, n_objects_, staging.data());
     const ConstBitRow row(staging.data(), n_objects_);

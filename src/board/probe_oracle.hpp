@@ -11,6 +11,7 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/bitvector.hpp"
+#include "src/common/exec_policy.hpp"
 #include "src/common/types.hpp"
 
 namespace colscore {
@@ -107,6 +108,16 @@ class ProbeOracle {
   /// counting under concurrent probes is part of the oracle contract.
   void set_serial_charging(bool on) { serial_charges_ = on; }
 
+  /// Binds the execution policy this oracle's probes run under. Derives the
+  /// serial-charging hint from it (worker_count() <= 1 means every protocol
+  /// loop runs inline) and routes gather staging scratch to the policy's
+  /// per-worker workspace. The policy must outlive the oracle's use;
+  /// run_scenario binds its per-scenario policy right after construction.
+  void bind_policy(const ExecPolicy& policy) {
+    policy_ = &policy;
+    serial_charges_ = policy.worker_count() <= 1;
+  }
+
   std::size_t n_players() const { return truth_->n_players(); }
   std::size_t n_objects() const { return truth_->n_objects(); }
 
@@ -145,6 +156,8 @@ class ProbeOracle {
   std::size_t packed_stride_ = 0;
   std::size_t n_objects_ = 0;
   bool serial_charges_ = false;
+  /// Workspace routing for gather staging; null until bind_policy().
+  const ExecPolicy* policy_ = nullptr;
   std::vector<std::atomic<std::uint64_t>> counts_;
 };
 

@@ -28,15 +28,26 @@ class ThreadPool {
 
   std::size_t thread_count() const noexcept { return workers_.size(); }
 
+  /// Wraps each participating thread's whole chunk-claiming loop (not each
+  /// chunk): the pool calls scope(loop) once per thread, and the callable
+  /// runs loop() inside whatever per-thread context it establishes.
+  /// ExecPolicy uses this to bind a workspace slot to the worker for the
+  /// duration of its participation.
+  using ThreadScope = std::function<void(const std::function<void()>&)>;
+
   /// Runs body(i) for every i in [begin, end); blocks until done.
   /// Exceptions from body are rethrown (first one wins).
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& body,
-                    std::size_t grain = 0);
+                    std::size_t grain = 0, const ThreadScope& scope = {});
 
-  /// Process-wide pool, sized from hardware concurrency on first use.
+  /// Process-wide pool backing ExecPolicy::process_default(), sized from
+  /// hardware concurrency on first use. Library code never names it
+  /// directly (lint rule CL012) — it reaches the pool through an ExecPolicy.
   static ThreadPool& global();
-  /// Overrides the global pool thread count (rebuilds the pool). Test-only.
+  /// Overrides the global pool thread count (rebuilds the pool). Reserved
+  /// for the CLI entry point; tests and library code hold their own pools
+  /// behind explicit ExecPolicy instances instead.
   static void reset_global(std::size_t threads);
 
  private:
@@ -58,22 +69,8 @@ class ThreadPool {
 /// on its claimed index anyway). No-op for seconds <= 0.
 void sleep_for_seconds(double seconds);
 
-/// Convenience wrapper over ThreadPool::global(). Template so the serial
-/// path (one worker, or a single index) calls the body directly — inlined,
-/// no std::function construction. The protocol hot path invokes this
-/// millions of times per suite; on a 1-core box the type-erasure wrapper
-/// was a heap allocation per call.
-template <typename Body>
-void parallel_for(std::size_t begin, std::size_t end, Body&& body,
-                  std::size_t grain = 0) {
-  if (begin >= end) return;
-  ThreadPool& pool = ThreadPool::global();
-  if (pool.thread_count() <= 1 || end - begin == 1) {
-    for (std::size_t i = begin; i < end; ++i) body(i);
-    return;
-  }
-  pool.parallel_for(begin, end, std::function<void(std::size_t)>(std::ref(body)),
-                    grain);
-}
+// The free parallel_for convenience template lives in exec_policy.hpp now
+// (a shim over ExecPolicy::process_default(), for benches and tests only);
+// library code threads an explicit ExecPolicy instead (lint rule CL012).
 
 }  // namespace colscore

@@ -1,18 +1,20 @@
-// Per-thread run workspace: reusable scratch for the protocol hot path.
+// Per-worker run workspace: reusable scratch for the protocol hot path.
 //
 // A whole-suite sweep executes millions of small protocol steps (Select
 // tournaments, ZeroRadius adoptions, voting slates), and before PR 3 every
 // one of them re-malloc'd its scratch — diff buffers, probe memos, voter
 // assignments — from cold. RunWorkspace keeps one set of named, growable
-// buffers per thread; a buffer grows to the high-water mark of the runs its
-// thread executes and then stops touching the allocator entirely.
+// buffers per worker; a buffer grows to the high-water mark of the runs its
+// worker executes and then stops touching the allocator entirely.
 //
-// Contract (see ROADMAP "Performance"):
-//   * Access via RunWorkspace::current() — one instance per thread, created
-//     on first use and alive for the thread's lifetime. SuiteRunner workers
-//     and the global ThreadPool persist across grid cells, which is exactly
-//     the per-worker pooling that lets cell N+1 reuse cell N's allocations.
-//     ProtocolEnv::workspace() is the same instance, spelled protocol-side.
+// Contract (see ROADMAP "Performance" and "Execution policy"):
+//   * Access via ExecPolicy::workspace() (protocol code spells it
+//     ProtocolEnv::workspace()) — each ExecPolicy owns an arena of
+//     workspaces and binds one slot per participating thread for the
+//     duration of a par_for chunk loop. Slots are recycled across grid
+//     cells, which is exactly the per-worker pooling that lets cell N+1
+//     reuse cell N's allocations. Threads not running under any policy
+//     (plain unit tests) fall back to a thread-local instance.
 //   * Buffers are grouped by owner (sel_* for the Select tournament, pf_*
 //     for the prefilter, zr_* for ZeroRadius adoption, vt_* for work-share
 //     voting, ze_* for ZeroRadius reassembly, probe_* for oracle staging,

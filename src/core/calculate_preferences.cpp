@@ -6,7 +6,6 @@
 #include "src/common/assert.hpp"
 #include "src/common/bitmatrix.hpp"
 #include "src/common/mathutil.hpp"
-#include "src/common/thread_pool.hpp"
 #include "src/common/workspace.hpp"
 #include "src/protocols/neighbor_graph.hpp"
 #include "src/protocols/select.hpp"
@@ -74,7 +73,7 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
       params.easy_case_factor * static_cast<double>(n)) {
     result.easy_case = true;
     result.outputs.assign(n, BitVector(n_objects));
-    parallel_for(0, n, [&](std::size_t p) {
+    env.par_for(0, n, [&](std::size_t p) {
       env.own_probe_row(static_cast<PlayerId>(p), 0, n_objects, result.outputs[p]);
     });
     fill_probe_deltas(result, env.oracle, before);
@@ -88,10 +87,10 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
       diameter_guesses(n_objects, params.sample_rate_c, ln_n);
 
   // candidates[g] row p = candidate vector of player p from guess g. Pooled
-  // in the per-thread workspace (cp_* group) so grid cells reuse the
+  // in the per-worker workspace (cp_* group) so grid cells reuse the
   // allocations; live across the whole guess loop, which is why SmallRadius
   // draws its own matrices from the separate sr_* pool.
-  std::vector<BitMatrix>& candidates = RunWorkspace::current().cp_candidates;
+  std::vector<BitMatrix>& candidates = env.workspace().cp_candidates;
   if (candidates.size() < guesses.size()) candidates.resize(guesses.size());
 
   const std::size_t min_cluster = std::max<std::size_t>(
@@ -147,7 +146,7 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
     // behaviour call, no RNG — an honest publication never draws from it).
     const std::uint64_t z_channel = mix_keys(iter_key, 0x9a9fULL);
     const ReportContext zctx{Phase::kClusterGraph, z_channel};
-    BitMatrix& z = RunWorkspace::current().cp_z;
+    BitMatrix& z = env.workspace().cp_z;
     z.reset(n, sample.size());
     for (PlayerId p = 0; p < n; ++p) {
       if (env.population.is_honest(p)) {
@@ -164,7 +163,7 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
     const auto tau = static_cast<std::size_t>(
         std::min(params.graph_tau_c * ln_n,
                  params.graph_tau_sample_frac * static_cast<double>(sample.size())));
-    const NeighborGraph graph(z, tau);
+    const NeighborGraph graph(z, tau, GraphBackend::kAuto, env.policy);
     const Clustering clustering = cluster_players(graph, min_cluster);
     info.clusters = clustering.clusters.size();
     info.min_cluster = clustering.min_cluster_size();
@@ -178,7 +177,7 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
                                             mix_keys(iter_key, 0x707eULL, c), ws);
     }
     candidates[g].reset(n, n_objects);
-    parallel_for(0, n, [&](std::size_t p) {
+    env.par_for(0, n, [&](std::size_t p) {
       const std::uint32_t c = clustering.cluster_of[p];
       if (c != Clustering::kNoClusterAssigned)
         candidates[g].row(p) = cluster_prediction[c];
@@ -191,7 +190,7 @@ ProtocolResult calculate_preferences(ProtocolEnv& env, const Params& params,
   const std::size_t probes_per_pair = std::max<std::size_t>(
       4, static_cast<std::size_t>(params.rselect_c * static_cast<double>(log2n)));
   result.outputs.assign(n, BitVector(n_objects));
-  parallel_for(0, n, [&](std::size_t p) {
+  env.par_for(0, n, [&](std::size_t p) {
     // Zero-copy candidate views into the per-guess matrices: the tournament
     // only reads, so nothing is deep-copied until the winner is extracted.
     std::vector<ConstBitRow> cands;
@@ -212,7 +211,8 @@ RobustResult robust_calculate_preferences(ProbeOracle& oracle, BulletinBoard& bo
                                           const Population& population,
                                           const RobustParams& params,
                                           std::uint64_t phase_key,
-                                          std::uint64_t local_seed) {
+                                          std::uint64_t local_seed,
+                                          const ExecPolicy& policy) {
   const std::size_t n = oracle.n_players();
   const std::size_t n_objects = oracle.n_objects();
   RobustResult robust;
@@ -227,7 +227,8 @@ RobustResult robust_calculate_preferences(ProbeOracle& oracle, BulletinBoard& bo
 
     // Elect a leader (beacon-independent: uses only local randomness).
     HonestBeacon election_stub(mix_keys(rep_key, 0x57abULL));
-    ProtocolEnv election_env(oracle, board, population, election_stub, local_seed);
+    ProtocolEnv election_env(oracle, board, population, election_stub,
+                             local_seed, policy);
     const ElectionResult election =
         feige_election(election_env, mix_keys(rep_key, 0xe1ecULL), params.election);
     robust.elections.push_back(election);
@@ -243,7 +244,7 @@ RobustResult robust_calculate_preferences(ProbeOracle& oracle, BulletinBoard& bo
       beacon = std::make_unique<GrindingBeacon>(rep_key, 1, nullptr);
     }
 
-    ProtocolEnv env(oracle, board, population, *beacon, local_seed);
+    ProtocolEnv env(oracle, board, population, *beacon, local_seed, policy);
     ProtocolResult rep_result =
         calculate_preferences(env, params.inner, mix_keys(rep_key, 0xca1cULL));
     for (const IterationInfo& info : rep_result.iterations)
@@ -256,13 +257,13 @@ RobustResult robust_calculate_preferences(ProbeOracle& oracle, BulletinBoard& bo
   std::vector<ObjectId> all_objects(n_objects);
   for (ObjectId o = 0; o < n_objects; ++o) all_objects[o] = o;
   HonestBeacon stub(mix_keys(phase_key, 0xf1a1ULL));
-  ProtocolEnv env(oracle, board, population, stub, local_seed);
+  ProtocolEnv env(oracle, board, population, stub, local_seed, policy);
   const std::size_t probes_per_pair = std::max<std::size_t>(
       4, static_cast<std::size_t>(params.inner.rselect_c *
                                   static_cast<double>(log2_ceil(n))));
 
   robust.result.outputs.assign(n, BitVector(n_objects));
-  parallel_for(0, n, [&](std::size_t p) {
+  policy.par_for(0, n, [&](std::size_t p) {
     std::vector<ConstBitRow> cands;
     cands.reserve(candidates.size());
     for (std::size_t rep = 0; rep < candidates.size(); ++rep)

@@ -51,10 +51,11 @@ struct RobustResult {
 };
 
 /// §7: leader election + repeated CalculatePreferences + final RSelect.
-RobustResult robust_calculate_preferences(ProbeOracle& oracle, BulletinBoard& board,
-                                          const Population& population,
-                                          const RobustParams& params,
-                                          std::uint64_t phase_key,
-                                          std::uint64_t local_seed = 0x10ca1ULL);
+/// Every inner ProtocolEnv (and so every parallel loop) runs under `policy`.
+RobustResult robust_calculate_preferences(
+    ProbeOracle& oracle, BulletinBoard& board, const Population& population,
+    const RobustParams& params, std::uint64_t phase_key,
+    std::uint64_t local_seed = 0x10ca1ULL,
+    const ExecPolicy& policy = ExecPolicy::process_default());
 
 }  // namespace colscore

@@ -4,7 +4,6 @@
 #include <numeric>
 
 #include "src/common/assert.hpp"
-#include "src/common/thread_pool.hpp"
 
 namespace colscore {
 
@@ -29,7 +28,7 @@ BitVector weighted_cluster_votes(std::span<const PlayerId> members,
   std::atomic<std::uint64_t> reports{0};
   std::atomic<std::uint64_t> ties{0};
 
-  parallel_for(0, n_objects, [&](std::size_t o) {
+  env.par_for(0, n_objects, [&](std::size_t o) {
     const auto object = static_cast<ObjectId>(o);
     Rng assign = env.shared_rng(mix_keys(phase_key, 0x3e1ULL, object));
     const ReportContext ctx{Phase::kVote, phase_key};

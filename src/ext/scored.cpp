@@ -83,7 +83,8 @@ ScoredWorld planted_scored_clusters(std::size_t n_players, std::size_t n_objects
 
 ScoredResult scored_calculate_preferences(const ScoredWorld& world,
                                           const Population& population,
-                                          const Params& params, std::uint64_t seed) {
+                                          const Params& params, std::uint64_t seed,
+                                          const ExecPolicy& policy) {
   const std::size_t n = world.scores.n_players();
   const std::size_t n_objects = world.scores.n_objects();
   const std::uint8_t levels = world.scores.levels();
@@ -95,9 +96,11 @@ ScoredResult scored_calculate_preferences(const ScoredWorld& world,
   for (std::uint8_t t = 1; t < levels; ++t) {
     const PreferenceMatrix layer = world.scores.layer(t);
     ProbeOracle oracle(layer);
+    oracle.bind_policy(policy);
     BulletinBoard board;
     HonestBeacon beacon(mix_keys(seed, 0xbeacULL, t));
-    ProtocolEnv env(oracle, board, population, beacon, mix_keys(seed, 0x10ca1ULL));
+    ProtocolEnv env(oracle, board, population, beacon, mix_keys(seed, 0x10ca1ULL),
+                    policy);
     const ProtocolResult layer_result =
         calculate_preferences(env, params, mix_keys(seed, 0x1a4e8ULL, t));
     for (PlayerId p = 0; p < n; ++p) {

@@ -64,9 +64,10 @@ struct ScoredResult {
 /// Runs the binary protocol once per threshold layer and re-sums. Each
 /// binary probe of layer t reveals [v(p)_o >= t]; we charge one probe per
 /// layer query, matching the decomposition's (R-1)x budget overhead.
-ScoredResult scored_calculate_preferences(const ScoredWorld& world,
-                                          const Population& population,
-                                          const Params& params, std::uint64_t seed);
+/// Every per-layer ProtocolEnv runs under `policy`.
+ScoredResult scored_calculate_preferences(
+    const ScoredWorld& world, const Population& population, const Params& params,
+    std::uint64_t seed, const ExecPolicy& policy = ExecPolicy::process_default());
 
 /// Max L1 error over the honest players.
 std::size_t scored_max_error(const ScoredWorld& world, const Population& population,

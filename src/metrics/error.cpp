@@ -1,15 +1,15 @@
 #include "src/metrics/error.hpp"
 
 #include "src/common/assert.hpp"
-#include "src/common/thread_pool.hpp"
 
 namespace colscore {
 
 std::vector<std::size_t> hamming_errors(const PreferenceMatrix& truth,
                                         std::span<const BitVector> outputs,
-                                        std::span<const PlayerId> players) {
+                                        std::span<const PlayerId> players,
+                                        const ExecPolicy& policy) {
   std::vector<std::size_t> errors(players.size(), 0);
-  parallel_for(0, players.size(), [&](std::size_t i) {
+  policy.par_for(0, players.size(), [&](std::size_t i) {
     const PlayerId p = players[i];
     CS_ASSERT(p < outputs.size(), "hamming_errors: missing output");
     errors[i] = truth.row(p).hamming(outputs[p]);
@@ -19,8 +19,9 @@ std::vector<std::size_t> hamming_errors(const PreferenceMatrix& truth,
 
 ErrorStats error_stats(const PreferenceMatrix& truth,
                        std::span<const BitVector> outputs,
-                       std::span<const PlayerId> players) {
-  const auto errors = hamming_errors(truth, outputs, players);
+                       std::span<const PlayerId> players,
+                       const ExecPolicy& policy) {
+  const auto errors = hamming_errors(truth, outputs, players, policy);
   ErrorStats stats;
   stats.summary = summarize(std::span<const std::size_t>(errors));
   stats.max_error = static_cast<std::size_t>(stats.summary.max);

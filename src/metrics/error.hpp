@@ -7,15 +7,17 @@
 #include <vector>
 
 #include "src/common/bitvector.hpp"
+#include "src/common/exec_policy.hpp"
 #include "src/common/stats.hpp"
 #include "src/model/preference_matrix.hpp"
 
 namespace colscore {
 
 /// errors[i] = |w(players[i]) - v(players[i])|.
-std::vector<std::size_t> hamming_errors(const PreferenceMatrix& truth,
-                                        std::span<const BitVector> outputs,
-                                        std::span<const PlayerId> players);
+std::vector<std::size_t> hamming_errors(
+    const PreferenceMatrix& truth, std::span<const BitVector> outputs,
+    std::span<const PlayerId> players,
+    const ExecPolicy& policy = ExecPolicy::process_default());
 
 struct ErrorStats {
   std::size_t max_error = 0;
@@ -23,8 +25,9 @@ struct ErrorStats {
   Summary summary;
 };
 
-ErrorStats error_stats(const PreferenceMatrix& truth,
-                       std::span<const BitVector> outputs,
-                       std::span<const PlayerId> players);
+ErrorStats error_stats(
+    const PreferenceMatrix& truth, std::span<const BitVector> outputs,
+    std::span<const PlayerId> players,
+    const ExecPolicy& policy = ExecPolicy::process_default());
 
 }  // namespace colscore

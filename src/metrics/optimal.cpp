@@ -3,17 +3,17 @@
 #include <algorithm>
 
 #include "src/common/assert.hpp"
-#include "src/common/thread_pool.hpp"
 
 namespace colscore {
 
-OptEstimate opt_radius(const PreferenceMatrix& truth, std::size_t group_size) {
+OptEstimate opt_radius(const PreferenceMatrix& truth, std::size_t group_size,
+                       const ExecPolicy& policy) {
   const std::size_t n = truth.n_players();
   CS_ASSERT(group_size >= 1 && group_size <= n, "opt_radius: bad group size");
   OptEstimate est;
   est.radius.assign(n, 0);
 
-  parallel_for(0, n, [&](std::size_t p) {
+  policy.par_for(0, n, [&](std::size_t p) {
     std::vector<std::size_t> dists;
     dists.reserve(n - 1);
     for (PlayerId q = 0; q < n; ++q) {

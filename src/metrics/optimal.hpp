@@ -10,6 +10,7 @@
 
 #include <vector>
 
+#include "src/common/exec_policy.hpp"
 #include "src/common/stats.hpp"
 #include "src/model/preference_matrix.hpp"
 
@@ -22,8 +23,9 @@ struct OptEstimate {
   double mean_radius = 0.0;
 };
 
-/// O(n^2) distance computation, parallelized. `group_size` = n/B.
-OptEstimate opt_radius(const PreferenceMatrix& truth, std::size_t group_size);
+/// O(n^2) distance computation, parallelized under `policy`. `group_size` = n/B.
+OptEstimate opt_radius(const PreferenceMatrix& truth, std::size_t group_size,
+                       const ExecPolicy& policy = ExecPolicy::process_default());
 
 /// Max over players of error[p] / max(1, radius[p]); the constant-factor
 /// optimality claim (Theorem 14) predicts this stays bounded.

@@ -13,6 +13,7 @@
 #include "src/board/bulletin_board.hpp"
 #include "src/board/probe_oracle.hpp"
 #include "src/board/shared_random.hpp"
+#include "src/common/exec_policy.hpp"
 #include "src/common/workspace.hpp"
 #include "src/model/population.hpp"
 
@@ -21,9 +22,10 @@ namespace colscore {
 struct ProtocolEnv {
   ProtocolEnv(ProbeOracle& oracle_in, BulletinBoard& board_in,
               const Population& population_in, RandomnessBeacon& beacon_in,
-              std::uint64_t local_seed_in = 0x10ca1ULL)
+              std::uint64_t local_seed_in = 0x10ca1ULL,
+              const ExecPolicy& policy_in = ExecPolicy::process_default())
       : oracle(oracle_in), board(board_in), population(population_in),
-        beacon(beacon_in), local_seed(local_seed_in) {}
+        beacon(beacon_in), local_seed(local_seed_in), policy(policy_in) {}
 
   ProbeOracle& oracle;
   BulletinBoard& board;
@@ -32,6 +34,11 @@ struct ProtocolEnv {
   /// Root seed for per-player local randomness (probe sampling in RSelect
   /// etc.). Local randomness is private to a player, never shared.
   std::uint64_t local_seed;
+  /// Where this invocation's data-parallel loops run and which workspace
+  /// arena their workers bind (see exec_policy.hpp). Held by value — a copy
+  /// shares the original's pool and workspace arena — so callers may pass a
+  /// temporary (e.g. ExecPolicy::serial()).
+  const ExecPolicy policy;
 
   /// A player privately learning one of its own preference bits. Honest
   /// players pay a charged probe; dishonest players peek for free (their own
@@ -72,9 +79,17 @@ struct ProtocolEnv {
       oracle.adversary_peek_gather(p, objects, out);
   }
 
-  /// This thread's reusable scratch (see src/common/workspace.hpp for the
-  /// pooling and aliasing contract).
-  RunWorkspace& workspace() const { return RunWorkspace::current(); }
+  /// The executing worker's reusable scratch, owned by the policy's arena
+  /// (see src/common/workspace.hpp for the group-aliasing contract and
+  /// exec_policy.hpp for the per-worker binding).
+  RunWorkspace& workspace() const { return policy.workspace(); }
+
+  /// Runs body(i) for i in [begin, end) under this env's policy.
+  template <typename Body>
+  void par_for(std::size_t begin, std::size_t end, Body&& body,
+               std::size_t grain = 0) const {
+    policy.par_for(begin, end, std::forward<Body>(body), grain);
+  }
 
   /// Local RNG stream for (player, phase).
   Rng local_rng(PlayerId p, std::uint64_t phase_key) const {

@@ -4,7 +4,6 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/bitkernels.hpp"
-#include "src/common/thread_pool.hpp"
 #include "src/common/workspace.hpp"
 
 namespace colscore {
@@ -63,7 +62,8 @@ bool csr_preferred(std::span<const ConstBitRow> z, std::size_t threshold) {
 }
 
 CsrNeighbors build_csr_neighbors(std::span<const ConstBitRow> z,
-                                 std::size_t threshold) {
+                                 std::size_t threshold,
+                                 const ExecPolicy& policy) {
   const std::size_t n = z.size();
   CsrNeighbors out;
   out.offsets.assign(n + 1, 0);
@@ -76,9 +76,9 @@ CsrNeighbors build_csr_neighbors(std::span<const ConstBitRow> z,
   // but each task appends (p, q) edges to its own tile list instead of
   // setting bits. The list content depends only on the tile index, never on
   // the thread schedule.
-  RunWorkspace& ws = RunWorkspace::current();
+  RunWorkspace& ws = policy.workspace();
   ws.nb_tile_edges.resize(std::max(ws.nb_tile_edges.size(), n_tiles));
-  parallel_for(0, n_tiles, [&, threshold](std::size_t ti) {
+  policy.par_for(0, n_tiles, [&, threshold](std::size_t ti) {
     auto& edges = ws.nb_tile_edges[ti];
     edges.clear();
     const std::size_t p_begin = ti * tile;

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "src/common/bitvector.hpp"
+#include "src/common/exec_policy.hpp"
 #include "src/common/types.hpp"
 
 namespace colscore {
@@ -45,10 +46,11 @@ struct CsrNeighbors {
 };
 
 /// Builds the CSR adjacency: edge iff hamming(z[p], z[q]) <= threshold.
-/// Same tiled early-exit pair sweep as the dense build; scratch comes from
-/// the calling thread's RunWorkspace (nb_ group).
-CsrNeighbors build_csr_neighbors(std::span<const ConstBitRow> z,
-                                 std::size_t threshold);
+/// Same tiled early-exit pair sweep as the dense build, run under `policy`;
+/// scratch comes from the calling worker's workspace (nb_ group).
+CsrNeighbors build_csr_neighbors(
+    std::span<const ConstBitRow> z, std::size_t threshold,
+    const ExecPolicy& policy = ExecPolicy::process_default());
 
 /// Estimated edge density in [0, 1] from a deterministic sample of pairs
 /// (index-hash driven — no ambient randomness, same answer on every run and

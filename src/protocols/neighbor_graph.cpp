@@ -4,7 +4,6 @@
 #include <bit>
 
 #include "src/common/assert.hpp"
-#include "src/common/thread_pool.hpp"
 
 namespace colscore {
 
@@ -30,19 +29,20 @@ const char* backend_name(GraphBackend backend) noexcept {
 }
 
 NeighborGraph::NeighborGraph(std::span<const ConstBitRow> z,
-                             std::size_t threshold, GraphBackend backend) {
-  build(z, threshold, backend);
+                             std::size_t threshold, GraphBackend backend,
+                             const ExecPolicy& policy) {
+  build(z, threshold, backend, policy);
 }
 
 NeighborGraph::NeighborGraph(const BitMatrix& z, std::size_t threshold,
-                             GraphBackend backend) {
-  build(z.row_views(), threshold, backend);
+                             GraphBackend backend, const ExecPolicy& policy) {
+  build(z.row_views(), threshold, backend, policy);
 }
 
 NeighborGraph::NeighborGraph(std::span<const BitVector> z, std::size_t threshold,
-                             GraphBackend backend) {
+                             GraphBackend backend, const ExecPolicy& policy) {
   std::vector<ConstBitRow> views(z.begin(), z.end());
-  build(views, threshold, backend);
+  build(views, threshold, backend, policy);
 }
 
 ConstBitRow NeighborGraph::row(PlayerId p) const {
@@ -58,7 +58,7 @@ std::span<const std::uint32_t> NeighborGraph::neighbors(PlayerId p) const {
 }
 
 void NeighborGraph::build(std::span<const ConstBitRow> z, std::size_t threshold,
-                          GraphBackend backend) {
+                          GraphBackend backend, const ExecPolicy& policy) {
   const std::size_t n = z.size();
   n_ = n;
   if (backend == GraphBackend::kAuto)
@@ -66,7 +66,7 @@ void NeighborGraph::build(std::span<const ConstBitRow> z, std::size_t threshold,
                                           : GraphBackend::kDense;
   backend_ = backend;
   if (backend_ == GraphBackend::kCsr) {
-    csr_ = build_csr_neighbors(z, threshold);
+    csr_ = build_csr_neighbors(z, threshold, policy);
     return;
   }
 
@@ -79,7 +79,7 @@ void NeighborGraph::build(std::span<const ConstBitRow> z, std::size_t threshold,
   // Upper-triangle pass: each task owns the rows of one p-tile (writes only
   // bits q > p of those rows — race-free), scanning the q-rows tile by tile
   // so both tiles stay cache-resident across the pair sweep.
-  parallel_for(0, n_tiles, [&, threshold](std::size_t ti) {
+  policy.par_for(0, n_tiles, [&, threshold](std::size_t ti) {
     const std::size_t p_begin = ti * tile;
     const std::size_t p_end = std::min(n, p_begin + tile);
     for (std::size_t tj = ti; tj < n_tiles; ++tj) {

@@ -27,6 +27,7 @@
 
 #include "src/common/bitmatrix.hpp"
 #include "src/common/bitvector.hpp"
+#include "src/common/exec_policy.hpp"
 #include "src/common/types.hpp"
 #include "src/protocols/neighbor_csr.hpp"
 
@@ -42,13 +43,17 @@ class NeighborGraph {
  public:
   /// Builds the graph over the published sample vectors: edge iff
   /// hamming(z[p], z[q]) <= threshold. Each pair is computed once (symmetry)
-  /// in row tiles; the per-pair kernel early-exits past the threshold.
+  /// in row tiles; the per-pair kernel early-exits past the threshold. The
+  /// tile sweep runs under `policy`.
   NeighborGraph(std::span<const ConstBitRow> z, std::size_t threshold,
-                GraphBackend backend = GraphBackend::kAuto);
+                GraphBackend backend = GraphBackend::kAuto,
+                const ExecPolicy& policy = ExecPolicy::process_default());
   NeighborGraph(const BitMatrix& z, std::size_t threshold,
-                GraphBackend backend = GraphBackend::kAuto);
+                GraphBackend backend = GraphBackend::kAuto,
+                const ExecPolicy& policy = ExecPolicy::process_default());
   NeighborGraph(std::span<const BitVector> z, std::size_t threshold,
-                GraphBackend backend = GraphBackend::kAuto);
+                GraphBackend backend = GraphBackend::kAuto,
+                const ExecPolicy& policy = ExecPolicy::process_default());
 
   /// The resolved backend (never kAuto).
   GraphBackend backend() const noexcept { return backend_; }
@@ -71,7 +76,7 @@ class NeighborGraph {
 
  private:
   void build(std::span<const ConstBitRow> z, std::size_t threshold,
-             GraphBackend backend);
+             GraphBackend backend, const ExecPolicy& policy);
 
   std::size_t n_ = 0;
   GraphBackend backend_ = GraphBackend::kDense;

@@ -5,7 +5,6 @@
 
 #include "src/common/assert.hpp"
 #include "src/common/bitmatrix.hpp"
-#include "src/common/thread_pool.hpp"
 #include "src/common/workspace.hpp"
 #include "src/protocols/select.hpp"
 
@@ -49,15 +48,15 @@ SmallRadiusResult small_radius(std::span<const PlayerId> players,
   // candidates[r] row i = candidate vector of players[i] from repeat r.
   // Contiguous rows: the per-subset parallel writes below touch only their
   // own row, and BitMatrix rows never share a cache line. The matrices are
-  // pooled in the per-thread workspace so repeated grid cells reuse the
+  // pooled in the per-worker workspace so repeated grid cells reuse the
   // allocation (sr_* group; disjoint from calculate_preferences' cp_* pool,
   // whose matrices are live while this runs).
-  std::vector<BitMatrix>& candidates = RunWorkspace::current().sr_candidates;
+  std::vector<BitMatrix>& candidates = env.workspace().sr_candidates;
   if (candidates.size() < params.repeats) candidates.resize(params.repeats);
 
   // Flat partition buffers (counting sort) — a vector-of-vectors here cost s
   // allocations per repeat.
-  RunWorkspace& ws = RunWorkspace::current();
+  RunWorkspace& ws = env.workspace();
   auto& subset_of = ws.sr_subset_of;
   auto& subset_offsets = ws.sr_subset_offsets;
   auto& subset_cursor = ws.sr_subset_cursor;
@@ -137,7 +136,7 @@ SmallRadiusResult small_radius(std::span<const PlayerId> players,
       // list is built once here instead of once per player inside the
       // BitVector overload.
       const std::vector<ConstBitRow> ui_views(ui.begin(), ui.end());
-      parallel_for(0, players.size(), [&](std::size_t i) {
+      env.par_for(0, players.size(), [&](std::size_t i) {
         const SelectOutcome sel = select_prefiltered(
             players[i], ui_views, sub_objects, env, mix_keys(sub_key, players[i]),
             params.probes_per_pair, params.prefilter_probes, params.max_finalists,
@@ -152,7 +151,7 @@ SmallRadiusResult small_radius(std::span<const PlayerId> players,
   }
 
   // Final step: Select among the per-repeat candidates (zero-copy views).
-  parallel_for(0, players.size(), [&](std::size_t i) {
+  env.par_for(0, players.size(), [&](std::size_t i) {
     std::vector<ConstBitRow> cands;
     cands.reserve(params.repeats);
     for (std::size_t rep = 0; rep < params.repeats; ++rep)

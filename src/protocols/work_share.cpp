@@ -3,7 +3,6 @@
 #include <atomic>
 
 #include "src/common/assert.hpp"
-#include "src/common/thread_pool.hpp"
 #include "src/common/workspace.hpp"
 
 namespace colscore {
@@ -18,7 +17,7 @@ namespace colscore {
 // Verdicts are identical to the one-probe-at-a-time formulation:
 // assignments, tie-break coins, and per-slot RNG streams are all derived
 // from stable keys, never from execution order. Assignment/report buffers
-// come from the per-thread workspace (vt_* group) so back-to-back clusters
+// come from the per-worker workspace (vt_* group) so back-to-back clusters
 // and grid cells reuse them.
 BitVector cluster_votes(std::span<const PlayerId> members, ProtocolEnv& env,
                         std::uint64_t phase_key, const WorkShareParams& params,
@@ -36,7 +35,7 @@ BitVector cluster_votes(std::span<const PlayerId> members, ProtocolEnv& env,
   auto& tie_coin = ws.vt_tie_coin;
   voter_of.resize(n_slots);
   tie_coin.resize(n_objects);
-  parallel_for(0, n_objects, [&](std::size_t o) {
+  env.par_for(0, n_objects, [&](std::size_t o) {
     Rng assign = env.shared_rng(mix_keys(phase_key, 0xa551ULL, o));
     for (std::size_t v = 0; v < k; ++v)
       voter_of[o * k + v] = static_cast<std::uint32_t>(assign.below(members.size()));
@@ -63,18 +62,18 @@ BitVector cluster_votes(std::span<const PlayerId> members, ProtocolEnv& env,
   // Phase 3: each voter answers its slate. Honest voters batch-probe through
   // the bit pipeline; dishonest voters go through their behaviour slot by
   // slot with the same (phase_key, object, vote) RNG streams the serial
-  // formulation used. Bodies use their own thread's vt_slate_* scratch,
+  // formulation used. Bodies use their own worker's vt_slate_* scratch,
   // disjoint from the caller's buffers above.
   const ReportContext ctx{Phase::kVote, phase_key};
   auto& report_of_slot = ws.vt_report_of_slot;
   report_of_slot.resize(n_slots);
-  parallel_for(0, members.size(), [&](std::size_t m) {
+  env.par_for(0, members.size(), [&](std::size_t m) {
     const PlayerId voter = members[m];
     const std::span<const std::uint32_t> slate{
         slots_of_voter.data() + offsets[m], offsets[m + 1] - offsets[m]};
     if (slate.empty()) return;
     if (env.population.is_honest(voter)) {
-      RunWorkspace& tws = RunWorkspace::current();
+      RunWorkspace& tws = env.workspace();
       auto& objects = tws.vt_slate_objects;
       objects.resize(slate.size());
       for (std::size_t i = 0; i < slate.size(); ++i)
@@ -100,9 +99,9 @@ BitVector cluster_votes(std::span<const PlayerId> members, ProtocolEnv& env,
   std::atomic<std::uint64_t> ties{0};
   auto& verdicts = ws.vt_verdicts;
   verdicts.assign(n_objects, 0);
-  parallel_for(0, n_objects, [&](std::size_t o) {
+  env.par_for(0, n_objects, [&](std::size_t o) {
     const auto object = static_cast<ObjectId>(o);
-    RunWorkspace& tws = RunWorkspace::current();
+    RunWorkspace& tws = env.workspace();
     auto& authors = tws.vt_authors;
     authors.resize(k);
     std::size_t ones = 0;

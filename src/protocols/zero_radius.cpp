@@ -4,7 +4,6 @@
 #include <cmath>
 
 #include "src/common/assert.hpp"
-#include "src/common/thread_pool.hpp"
 #include "src/common/workspace.hpp"
 
 namespace colscore {
@@ -226,7 +225,7 @@ void cross_adopt(std::span<const PlayerId> learners,
 
   std::vector<ZeroRadiusStats> local(learners.size());
   learner_outputs.assign(learners.size(), BitVector());
-  parallel_for(0, learners.size(), [&](std::size_t i) {
+  ctx.env.par_for(0, learners.size(), [&](std::size_t i) {
     learner_outputs[i] =
         adopt(learners[i], objects, filtered, ctx, channel, local[i]);
   });
@@ -246,7 +245,7 @@ ZeroRadiusResult solve(std::span<const PlayerId> players,
     // per player, so each row is one batched charge through the word-level
     // pipeline (contiguous object spans skip bit staging entirely).
     result.stats.base_case_players = players.size();
-    parallel_for(0, players.size(), [&](std::size_t i) {
+    ctx.env.par_for(0, players.size(), [&](std::size_t i) {
       ctx.env.own_probe_bits(players[i], objects, result.outputs[i]);
     });
     return result;
@@ -292,7 +291,7 @@ ZeroRadiusResult solve(std::span<const PlayerId> players,
                   std::span<const ObjectId> own_objs,
                   const std::vector<BitVector>& adopted,
                   std::span<const ObjectId> adopted_objs) {
-    parallel_for(0, group.size(), [&](std::size_t i) {
+    ctx.env.par_for(0, group.size(), [&](std::size_t i) {
       BitRow row(result.outputs[row_of[group[i]]]);
       const ConstBitRow own_bits(own[i]);
       const ConstBitRow adopted_bits(adopted[i]);

@@ -7,7 +7,7 @@
 
 #include "src/baseline/baselines.hpp"
 #include "src/common/assert.hpp"
-#include "src/common/thread_pool.hpp"
+#include "src/common/exec_policy.hpp"
 #include "src/common/timer.hpp"
 #include "src/core/calculate_preferences.hpp"
 #include "src/protocols/env.hpp"
@@ -281,7 +281,7 @@ AlgorithmOutput run_with_honest_beacon(
     const std::function<ProtocolResult(ProtocolEnv&)>& body) {
   HonestBeacon beacon(mix_keys(ctx.scenario.seed, 0xbeacULL));
   ProtocolEnv env(ctx.oracle, ctx.board, ctx.population, beacon,
-                  mix_keys(ctx.scenario.seed, 0x10ca1ULL));
+                  mix_keys(ctx.scenario.seed, 0x10ca1ULL), ctx.policy);
   AlgorithmOutput out;
   out.result = body(env);
   return out;
@@ -306,7 +306,7 @@ void register_builtin_algorithms(AlgorithmRegistry& reg) {
              RobustResult rr = robust_calculate_preferences(
                  ctx.oracle, ctx.board, ctx.population, rp,
                  mix_keys(ctx.scenario.seed, 0x0b57ULL),
-                 mix_keys(ctx.scenario.seed, 0x10ca1ULL));
+                 mix_keys(ctx.scenario.seed, 0x10ca1ULL), ctx.policy);
              return AlgorithmOutput{std::move(rr.result), rr.honest_leader_reps,
                                     /*reports_leader_reps=*/true};
            },
@@ -619,19 +619,30 @@ Population build_scenario_population(const Scenario& scenario, const World& worl
 }
 
 ExperimentOutcome run_scenario(const Scenario& scenario) {
+  return run_scenario(scenario, ExecPolicy::process_default());
+}
+
+ExperimentOutcome run_scenario(const Scenario& scenario,
+                               const ExecPolicy& policy) {
   Timer timer;
+  // Bind the calling thread to one of the policy's workspace slots for the
+  // whole run; nested protocol frames (and pool workers, via their own
+  // scopes) share or acquire slots from the same arena, so two scenarios on
+  // disjoint policies can never alias scratch.
+  WorkerScope worker(policy);
   const World world = build_scenario_world(scenario);
   const Population pop = build_scenario_population(scenario, world);
   ProbeOracle oracle(world.matrix);
-  // With a single-threaded worker pool every protocol loop runs inline, so
-  // counter charges can skip the atomic RMW (see set_serial_charging).
-  oracle.set_serial_charging(ThreadPool::global().thread_count() <= 1);
+  // With a single-worker policy every protocol loop runs inline, so counter
+  // charges can skip the atomic RMW (see ProbeOracle::bind_policy).
+  oracle.bind_policy(policy);
   BulletinBoard board;
 
   Params params = scenario.params;
   params.budget = scenario.budget;
 
-  const AlgorithmContext ctx{scenario, world, oracle, board, pop, params};
+  const AlgorithmContext ctx{scenario, world, oracle, board, pop, params,
+                             policy};
   AlgorithmOutput algo =
       AlgorithmRegistry::instance().at(scenario.algorithm).run(ctx);
   ProtocolResult& result = algo.result;
@@ -639,7 +650,7 @@ ExperimentOutcome run_scenario(const Scenario& scenario) {
   ExperimentOutcome outcome;
   const std::vector<PlayerId> honest = pop.honest_players();
   outcome.honest_players = honest.size();
-  outcome.error = error_stats(world.matrix, result.outputs, honest);
+  outcome.error = error_stats(world.matrix, result.outputs, honest, policy);
   outcome.planted_diameter = world.planted_diameter;
   outcome.total_probes = result.total_probes;
   outcome.max_probes = result.max_probes;
@@ -656,8 +667,9 @@ ExperimentOutcome run_scenario(const Scenario& scenario) {
   if (scenario.compute_opt) {
     const std::size_t group =
         std::max<std::size_t>(2, scenario.n / scenario.budget);
-    outcome.opt = opt_radius(world.matrix, group);
-    const auto errors = hamming_errors(world.matrix, result.outputs, honest);
+    outcome.opt = opt_radius(world.matrix, group, policy);
+    const auto errors =
+        hamming_errors(world.matrix, result.outputs, honest, policy);
     outcome.approx_ratio = worst_approx_ratio(errors, honest, outcome.opt);
   }
 

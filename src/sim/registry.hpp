@@ -30,6 +30,7 @@
 
 #include "src/board/bulletin_board.hpp"
 #include "src/board/probe_oracle.hpp"
+#include "src/common/exec_policy.hpp"
 #include "src/core/params.hpp"
 #include "src/core/result.hpp"
 #include "src/metrics/error.hpp"
@@ -209,6 +210,8 @@ struct AlgorithmContext {
   const Population& population;
   /// scenario.params with params.budget synced to scenario.budget.
   const Params& params;
+  /// Execution policy for the run's parallel loops (run_scenario's).
+  const ExecPolicy& policy;
 };
 
 struct AlgorithmOutput {
@@ -470,6 +473,12 @@ World build_scenario_world(const Scenario& scenario);
 Population build_scenario_population(const Scenario& scenario, const World& world);
 
 /// Runs one scenario end-to-end: world, population, algorithm, metrics.
+/// Every parallel loop in the run (protocols, metrics) executes under
+/// `policy`, and the calling thread is bound to one of the policy's
+/// workspace slots for the duration. The one-argument form runs under the
+/// process-default policy.
+ExperimentOutcome run_scenario(const Scenario& scenario,
+                               const ExecPolicy& policy);
 ExperimentOutcome run_scenario(const Scenario& scenario);
 
 }  // namespace colscore

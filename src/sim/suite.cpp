@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <mutex>
+#include <optional>
 #include <sstream>
 
+#include "src/common/exec_policy.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/common/timer.hpp"
 #include "src/sim/fault.hpp"
@@ -208,6 +210,22 @@ void SuiteRunner::execute(std::vector<SuiteRun>& runs) const {
     }
   };
 
+  // One policy serves the suite loop and every nested protocol loop of its
+  // runs: run_scenario executes on a suite worker already bound to the
+  // policy's arena, so its WorkerScope reuses the worker's slot and the
+  // protocol's inner par_fors claim chunks from the same pool (the
+  // chunk-claiming loop self-completes, so nesting cannot deadlock).
+  std::optional<ThreadPool> local_pool;
+  ExecPolicy policy = ExecPolicy::serial();
+  if (options_.policy != nullptr) {
+    policy = *options_.policy;
+  } else if (options_.threads == 0) {
+    policy = ExecPolicy::process_default();
+  } else if (options_.threads > 1) {
+    local_pool.emplace(options_.threads);
+    policy = ExecPolicy::pool(*local_pool);
+  }
+
   auto body = [&](std::size_t i) {
     SuiteRun& run = runs[i];
     if (run.status == RunStatus::kSkipped) {  // resume: already complete
@@ -229,7 +247,7 @@ void SuiteRunner::execute(std::vector<SuiteRun>& runs) const {
       try {
         if (options_.faults != nullptr)
           options_.faults->before_attempt(i, attempt);
-        run.outcome = run_scenario(run.scenario);
+        run.outcome = run_scenario(run.scenario, policy);
         run.status = RunStatus::kOk;
         run.error.clear();
       } catch (const std::exception& e) {
@@ -255,14 +273,7 @@ void SuiteRunner::execute(std::vector<SuiteRun>& runs) const {
     complete(i);
   };
 
-  if (options_.threads == 1) {
-    for (std::size_t i = lo; i < hi; ++i) body(i);
-  } else if (options_.threads == 0) {
-    ThreadPool::global().parallel_for(lo, hi, body, /*grain=*/1);
-  } else {
-    ThreadPool pool(options_.threads);
-    pool.parallel_for(lo, hi, body, /*grain=*/1);
-  }
+  policy.par_for(lo, hi, body, /*grain=*/1);
 }
 
 std::vector<SuiteRun> SuiteRunner::run(const std::vector<ScenarioSpec>& specs) const {

@@ -80,9 +80,16 @@ struct SuiteRun {
 };
 
 struct SuiteOptions {
-  /// Worker threads for the suite loop. 0 = the global pool (one thread per
-  /// hardware thread); 1 = fully serial in the calling thread.
+  /// Worker threads for the suite loop. 0 = the process-default policy (the
+  /// global pool, one thread per hardware thread); 1 = fully serial in the
+  /// calling thread. Ignored when `policy` is set.
   std::size_t threads = 0;
+  /// Explicit execution policy for the suite loop and every run under it
+  /// (overrides `threads`). Not owned; must outlive execute(). This is the
+  /// seam concurrent suites plug into: two runners on disjoint
+  /// ExecPolicy::pool(...) instances share no pool and no workspace arena,
+  /// so they can run side by side in one process.
+  const ExecPolicy* policy = nullptr;
   /// Multi-seed replication: every spec expands into `reps` runs (rep ids
   /// vary fastest) whose seeds derive from the distinct flat run indices.
   /// Grid sweeps set this with a `reps=K` axis. Requires derive_seeds —

@@ -6,6 +6,7 @@
 namespace colscore {
 
 void fixture_foreign_group() {
+  // colscore-lint: allow(CL012) fixture: CL001 exercises group aliasing, not execution
   RunWorkspace& ws = RunWorkspace::current();
   ws.vt_offsets.clear();     // own group: fine
   ws.sel_diff.clear();       // VIOLATION: sel_ belongs to select.cpp

@@ -1,19 +1,19 @@
 // lint-fixture-as: src/sim/fixture_threads.cpp
 // CL006: raw threads bypass the pool's schedule-independent seeding and the
-// per-worker RunWorkspace; all parallelism goes through parallel_for.
+// per-worker RunWorkspace; all parallelism goes through an ExecPolicy.
 #include <future>
 #include <thread>
 
-#include "src/common/thread_pool.hpp"
+#include "src/common/exec_policy.hpp"
 
 namespace colscore {
 
-void fixture_raw_threads(std::size_t n) {
+void fixture_raw_threads(const ExecPolicy& policy, std::size_t n) {
   std::thread worker([] {});                     // VIOLATION
   auto pending = std::async([] { return 1; });   // VIOLATION
   // colscore-lint: allow(CL006) fixture: watchdog thread, joins before exit
   std::thread watchdog([] {});                   // suppressed
-  parallel_for(0, n, [](std::size_t) {});        // sanctioned: fine
+  policy.par_for(0, n, [](std::size_t) {});      // sanctioned: fine
   worker.join();
   watchdog.join();
   pending.wait();

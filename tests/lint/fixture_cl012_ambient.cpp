@@ -1,0 +1,23 @@
+// lint-fixture-as: src/metrics/fixture_ambient.cpp
+// CL012: library loops name their ExecPolicy; the ambient spellings couple
+// concurrent suites through process globals and bypass the policy-owned
+// workspace arenas.
+#include "src/common/exec_policy.hpp"
+#include "src/common/thread_pool.hpp"
+#include "src/common/workspace.hpp"
+
+namespace colscore {
+
+void fixture_ambient_execution(const ExecPolicy& policy, std::size_t n) {
+  ThreadPool& pool = ThreadPool::global();           // VIOLATION
+  parallel_for(0, n, [](std::size_t) {});            // VIOLATION
+  RunWorkspace& ws = RunWorkspace::current();        // VIOLATION
+  // colscore-lint: allow(CL012) fixture: documented unbound-thread fallback
+  RunWorkspace& fallback = RunWorkspace::current();  // suppressed
+  policy.par_for(0, n, [](std::size_t) {});          // sanctioned: fine
+  (void)pool;
+  (void)ws;
+  (void)fallback;
+}
+
+}  // namespace colscore

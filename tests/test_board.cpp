@@ -5,7 +5,7 @@
 #include "src/board/bulletin_board.hpp"
 #include "src/board/probe_oracle.hpp"
 #include "src/board/shared_random.hpp"
-#include "src/common/thread_pool.hpp"
+#include "src/common/exec_policy.hpp"
 #include "src/model/preference_matrix.hpp"
 
 namespace colscore {

@@ -14,6 +14,7 @@
 
 #include "src/board/bulletin_board.hpp"
 #include "src/common/rng.hpp"
+#include "src/common/exec_policy.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/model/preference_matrix.hpp"
 
@@ -37,9 +38,10 @@ TEST(Concurrency, MixedChargePathsStayExactUnderContention) {
   std::atomic<std::uint64_t> mismatches{0};
 
   ThreadPool pool(4);
+  const ExecPolicy policy = ExecPolicy::pool(pool);
   // Per index: 1 (probe) + 64 (probe_row) + 5 (probe_gather) = 70 charges,
   // with every player's counter shared by indices on different workers.
-  pool.parallel_for(0, kIndices, [&](std::size_t i) {
+  policy.par_for(0, kIndices, [&](std::size_t i) {
     const auto p = static_cast<PlayerId>(i % kPlayers);
     const auto o = static_cast<ObjectId>(i % kObjects);
     if (oracle.probe(p, o) != m.preference(p, o)) mismatches.fetch_add(1);
@@ -77,10 +79,11 @@ TEST(Concurrency, BoardReportsSurviveConcurrentPosting) {
   BulletinBoard board;
 
   ThreadPool pool(4);
+  const ExecPolicy policy = ExecPolicy::pool(pool);
   // author cycles fastest, object per block of kPlayers: every
   // (author, object) pair is posted exactly kPosts / (kPlayers * kObjects)
   // times, and parity(i) == parity(author).
-  pool.parallel_for(0, kPosts, [&](std::size_t i) {
+  policy.par_for(0, kPosts, [&](std::size_t i) {
     board.post_report(kTag, static_cast<PlayerId>(i % kPlayers),
                       static_cast<ObjectId>((i / kPlayers) % kObjects),
                       (i & 1) != 0);
@@ -119,7 +122,8 @@ TEST(Concurrency, VectorSupportCountsSurviveConcurrentPosting) {
 
   BulletinBoard board;
   ThreadPool pool(4);
-  pool.parallel_for(0, kPlayers, [&](std::size_t p) {
+  const ExecPolicy policy = ExecPolicy::pool(pool);
+  policy.par_for(0, kPlayers, [&](std::size_t p) {
     board.post_vector(kTag, static_cast<PlayerId>(p),
                       (p % 4 == 0) ? minority : majority);
   });

@@ -103,11 +103,9 @@ TEST(NeighborCsr, ClusteringIdenticalWithSparseAndDenseGraphs) {
 TEST(NeighborCsr, ClusteringIdenticalUnderThreading) {
   // The parallel tile sweep must not leak schedule into the CSR layout.
   const std::vector<BitVector> z = planted_z(200, 10, 256, Rng(5));
-  ThreadPool::reset_global(1);
-  const NeighborGraph serial(z, 48, GraphBackend::kCsr);
-  ThreadPool::reset_global(4);
-  const NeighborGraph threaded(z, 48, GraphBackend::kCsr);
-  ThreadPool::reset_global(0);
+  const NeighborGraph serial(z, 48, GraphBackend::kCsr, ExecPolicy::serial());
+  ThreadPool pool(4);
+  const NeighborGraph threaded(z, 48, GraphBackend::kCsr, ExecPolicy::pool(pool));
   ASSERT_EQ(serial.size(), threaded.size());
   for (PlayerId p = 0; p < serial.size(); ++p) {
     const std::span<const std::uint32_t> a = serial.neighbors(p);

@@ -7,7 +7,7 @@
 // against values captured on the pre-PR tree.
 #include <gtest/gtest.h>
 
-#include "src/common/thread_pool.hpp"
+#include "src/common/exec_policy.hpp"
 #include "src/core/calculate_preferences.hpp"
 #include "src/model/generators.hpp"
 #include "src/protocols/env.hpp"
@@ -132,23 +132,24 @@ TEST(ProbePipeline, OwnProbeBitsHonestChargesDishonestPeeksFree) {
 /// FNV-style hash over the per-player probe counters after a full
 /// calculate_preferences run.
 std::uint64_t charge_hash(const char* spec_text) {
-  ThreadPool::reset_global(1);
+  const ExecPolicy policy = ExecPolicy::serial();
   const Scenario sc = Scenario::resolve(ScenarioSpec::parse(spec_text));
   const World world = build_scenario_world(sc);
   const Population pop = build_scenario_population(sc, world);
   ProbeOracle oracle(world.matrix);
+  oracle.bind_policy(policy);
   BulletinBoard board;
   Params params = sc.params;
   params.budget = sc.budget;
   HonestBeacon beacon(mix_keys(sc.seed, 0xbeacULL));
-  ProtocolEnv env(oracle, board, pop, beacon, mix_keys(sc.seed, 0x10ca1ULL));
+  ProtocolEnv env(oracle, board, pop, beacon, mix_keys(sc.seed, 0x10ca1ULL),
+                  policy);
   calculate_preferences(env, params, mix_keys(sc.seed, 0xca1cULL));
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (PlayerId p = 0; p < sc.n; ++p) {
     h ^= oracle.probes_by(p);
     h *= 0x100000001b3ULL;
   }
-  ThreadPool::reset_global(0);
   return h;
 }
 

@@ -3,6 +3,7 @@
 // parameterized gtest suites.
 #include <gtest/gtest.h>
 
+#include "src/common/exec_policy.hpp"
 #include "src/common/thread_pool.hpp"
 #include "src/core/calculate_preferences.hpp"
 #include "src/metrics/error.hpp"
@@ -127,16 +128,17 @@ INSTANTIATE_TEST_SUITE_P(Seeds, AccountingGrid, ::testing::Values(1, 2, 3, 4, 5)
 class ThreadDeterminism : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(ThreadDeterminism, SameOutputsAnyThreadCount) {
-  ThreadPool::reset_global(GetParam());
-  Harness h(planted_clusters(128, 128, 4, 8, Rng(42)));
+  ThreadPool pool(GetParam());
+  Harness h(planted_clusters(128, 128, 4, 8, Rng(42)), 0xbeac0ULL,
+            ExecPolicy::pool(pool));
   Params params = Params::practical(4);
   const ProtocolResult r = calculate_preferences(h.env, params, 99);
   // Fingerprint the outputs; compare against the single-thread reference.
   std::uint64_t fingerprint = 0;
   for (const auto& v : r.outputs) fingerprint ^= v.content_hash() * 0x9e3779b97f4a7c15ULL;
 
-  ThreadPool::reset_global(1);
-  Harness ref(planted_clusters(128, 128, 4, 8, Rng(42)));
+  Harness ref(planted_clusters(128, 128, 4, 8, Rng(42)), 0xbeac0ULL,
+              ExecPolicy::serial());
   const ProtocolResult rr = calculate_preferences(ref.env, params, 99);
   std::uint64_t ref_fingerprint = 0;
   for (const auto& v : rr.outputs)
@@ -144,7 +146,6 @@ TEST_P(ThreadDeterminism, SameOutputsAnyThreadCount) {
 
   EXPECT_EQ(fingerprint, ref_fingerprint);
   EXPECT_EQ(r.total_probes, rr.total_probes);
-  ThreadPool::reset_global(0);
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, ThreadDeterminism, ::testing::Values(1, 2, 4, 8));

@@ -8,6 +8,9 @@
 #include <algorithm>
 #include <sstream>
 
+#include "src/common/exec_policy.hpp"
+#include "src/common/thread_pool.hpp"
+
 namespace colscore {
 namespace {
 
@@ -86,6 +89,25 @@ TEST(SuiteRunner, ParallelGridIsByteIdenticalToSerial) {
   EXPECT_FALSE(serial.empty());
   EXPECT_EQ(serial, parallel);
   EXPECT_EQ(serial, parallel_again);
+}
+
+TEST(SuiteRunner, ExplicitPolicyMatchesThreadsDispatch) {
+  // options.policy is the seam for callers that own their pool; it must
+  // produce the same bytes as the threads-based dispatch it overrides.
+  const std::string grid = "adversary=none,sleeper x algorithm=calc";
+  const std::string serial = grid_csv(small_base(), grid, /*threads=*/1);
+
+  ThreadPool pool(3);
+  const ExecPolicy policy = ExecPolicy::pool(pool);
+  std::ostringstream out;
+  CsvWriter writer(out, suite_csv_columns());
+  SuiteOptions options;
+  options.policy = &policy;
+  options.threads = 7;  // must be ignored in favour of the explicit policy
+  options.on_result = [&](const SuiteRun& run) { suite_csv_row(writer, run); };
+  SuiteRunner runner(options);
+  runner.run_grid(small_base(), grid);
+  EXPECT_EQ(serial, out.str());
 }
 
 TEST(SuiteRunner, StreamsResultsInIndexOrder) {

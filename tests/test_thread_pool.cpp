@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "src/common/exec_policy.hpp"
+
 #include <atomic>
 #include <numeric>
 #include <stdexcept>
@@ -81,17 +83,26 @@ TEST(ThreadPool, ThreadCountReported) {
   EXPECT_EQ(pool.thread_count(), 5u);
 }
 
-TEST(ThreadPool, GlobalWrapperWorks) {
+TEST(ThreadPool, FreeParallelForShimWorks) {
+  // The free function survives only as a shim over ExecPolicy::process_default.
   std::atomic<std::size_t> sum{0};
   parallel_for(0, 100, [&](std::size_t i) { sum.fetch_add(i); });
   EXPECT_EQ(sum.load(), std::size_t{4950});
 }
 
-TEST(ThreadPool, ResetGlobalChangesThreadCount) {
-  ThreadPool::reset_global(2);
-  EXPECT_EQ(ThreadPool::global().thread_count(), 2u);
-  ThreadPool::reset_global(0);  // back to hardware default
-  EXPECT_GE(ThreadPool::global().thread_count(), 1u);
+TEST(ThreadPool, PoolPolicyReportsWorkerCount) {
+  ThreadPool pool(2);
+  EXPECT_EQ(ExecPolicy::pool(pool).worker_count(), 2u);
+  EXPECT_EQ(ExecPolicy::serial().worker_count(), 1u);
+  EXPECT_GE(ExecPolicy::process_default().worker_count(), 1u);
+}
+
+TEST(ThreadPool, PolicyParForRunsEveryIndex) {
+  ThreadPool pool(3);
+  const ExecPolicy policy = ExecPolicy::pool(pool);
+  std::vector<std::atomic<int>> hits(500);
+  policy.par_for(0, 500, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
 TEST(ThreadPool, ManySmallLoops) {

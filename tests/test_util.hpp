@@ -49,12 +49,16 @@ struct Harness {
   HonestBeacon beacon;
   ProtocolEnv env;
 
-  Harness(World w, std::uint64_t seed = 0xbeac0ULL)
+  Harness(World w, std::uint64_t seed = 0xbeac0ULL,
+          const ExecPolicy& policy = ExecPolicy::process_default())
       : world(std::move(w)),
         population(world.n_players()),
         oracle(world.matrix),
         beacon(seed),
-        env(oracle, board, population, beacon, mix_keys(seed, 0x10ca1ULL)) {}
+        env(oracle, board, population, beacon, mix_keys(seed, 0x10ca1ULL),
+            policy) {
+    oracle.bind_policy(env.policy);  // env.policy outlives the oracle binding
+  }
 
   std::vector<PlayerId> all_players() const {
     std::vector<PlayerId> out(world.n_players());

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "src/common/csv.hpp"
+#include "src/common/thread_pool.hpp"
 #include "src/sim/fault.hpp"
 #include "src/sim/registry.hpp"
 #include "src/sim/resume.hpp"
@@ -296,6 +297,11 @@ int run(int argc, char** argv) {
     const char* env = std::getenv("COLSCORE_FAULTS");
     if (env != nullptr && *env != '\0') faults_flag = std::string(env);
   }
+
+  // --threads also sizes the process-default policy, so default-argument
+  // code paths (ExecPolicy::process_default) agree with the suite policy.
+  // This is the one sanctioned reset_global call site (see CL012).
+  if (threads_flag.has_value()) ThreadPool::reset_global(*threads_flag);
 
   // ---- schema listing --------------------------------------------------------
   // Handled after the flag loop (unlike the registry listings) so the schema

@@ -11,6 +11,7 @@ from . import determinism
 from . import registry_hygiene
 from . import logging_discipline
 from . import kernel_discipline
+from . import execution_discipline
 
 RULES = sorted(
     workspace_ownership.RULES
@@ -18,7 +19,8 @@ RULES = sorted(
     + determinism.RULES
     + registry_hygiene.RULES
     + logging_discipline.RULES
-    + kernel_discipline.RULES,
+    + kernel_discipline.RULES
+    + execution_discipline.RULES,
     key=lambda r: r.rule_id,
 )
 
