@@ -48,7 +48,7 @@ int main() {
   // It is immediately runnable by name everywhere (specs, grids, the CLI).
   WorkloadRegistry::instance().add(
       "three_camps", {"three equal taste camps (quickstart demo)",
-                      [](const Scenario& sc, Rng& rng) {
+                      [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
                         return identical_clusters(sc.n, sc.n, 3, rng);
                       }});
 

@@ -12,6 +12,27 @@
 
 namespace colscore {
 
+/// Summary of a churn/drift simulation that post-processed a generated world
+/// (src/sim/churn.hpp). Plain counters so World can carry them from the
+/// workload factory to the entry's metric emit hook without the model layer
+/// depending on the streaming machinery.
+struct ChurnStats {
+  std::uint64_t epochs = 0;
+  std::uint64_t flips = 0;
+  std::uint64_t arrivals = 0;
+  std::uint64_t departures = 0;
+  /// Unordered edges added + removed across all epochs.
+  std::uint64_t edges_changed = 0;
+  /// Epochs where incremental maintenance fell back to a full rebuild.
+  std::uint64_t rebuilds = 0;
+  /// Epochs where the greedy peel re-ran (the rest reused the clustering).
+  std::uint64_t reclusters = 0;
+  /// Players alive after the final epoch.
+  std::size_t final_alive = 0;
+  /// Clusters in the final epoch's clustering (orphan pool included).
+  std::size_t final_clusters = 0;
+};
+
 struct World {
   PreferenceMatrix matrix;
   /// Planted cluster id per player; kInvalidPlayer-sized value (= no cluster)
@@ -22,6 +43,9 @@ struct World {
   /// Number of planted clusters (background players excluded).
   std::size_t n_clusters = 0;
   std::string description;
+  /// Set by churn-style workloads that drifted the matrix after generation
+  /// (epochs == 0 means the world is static).
+  ChurnStats churn;
 
   std::size_t n_players() const { return matrix.n_players(); }
   std::size_t n_objects() const { return matrix.n_objects(); }

@@ -63,11 +63,15 @@ bool csr_preferred(std::span<const ConstBitRow> z, std::size_t threshold) {
 
 CsrNeighbors build_csr_neighbors(std::span<const ConstBitRow> z,
                                  std::size_t threshold,
-                                 const ExecPolicy& policy) {
+                                 const ExecPolicy& policy,
+                                 const BitVector* alive) {
   const std::size_t n = z.size();
+  CS_ASSERT(alive == nullptr || alive->size() == n,
+            "csr: alive mask size mismatch");
   CsrNeighbors out;
   out.offsets.assign(n + 1, 0);
   if (n < 2) return out;
+  const bool masked = alive != nullptr && alive->popcount() != n;
   const std::size_t dim_words = bitkernel::word_count(z[0].size());
   const std::size_t tile = tile_rows(n, dim_words * sizeof(std::uint64_t));
   const std::size_t n_tiles = (n + tile - 1) / tile;
@@ -87,8 +91,10 @@ CsrNeighbors build_csr_neighbors(std::span<const ConstBitRow> z,
       const std::size_t q_tile_begin = tj * tile;
       const std::size_t q_tile_end = std::min(n, q_tile_begin + tile);
       for (std::size_t p = p_begin; p < p_end; ++p) {
+        if (masked && !alive->get(p)) continue;
         const ConstBitRow zp = z[p];
         for (std::size_t q = std::max(q_tile_begin, p + 1); q < q_tile_end; ++q) {
+          if (masked && !alive->get(q)) continue;
           if (!zp.hamming_exceeds(z[q], threshold))
             edges.emplace_back(static_cast<std::uint32_t>(p),
                                static_cast<std::uint32_t>(q));

@@ -48,9 +48,13 @@ struct CsrNeighbors {
 /// Builds the CSR adjacency: edge iff hamming(z[p], z[q]) <= threshold.
 /// Same tiled early-exit pair sweep as the dense build, run under `policy`;
 /// scratch comes from the calling worker's workspace (nb_ group).
+/// A non-null `alive` mask (|alive| == |z|) drops departed players from the
+/// pair sweep entirely — their adjacency lists come out empty, matching the
+/// streaming update contract (NeighborGraph::apply_updates).
 CsrNeighbors build_csr_neighbors(
     std::span<const ConstBitRow> z, std::size_t threshold,
-    const ExecPolicy& policy = ExecPolicy::process_default());
+    const ExecPolicy& policy = ExecPolicy::process_default(),
+    const BitVector* alive = nullptr);
 
 /// Estimated edge density in [0, 1] from a deterministic sample of pairs
 /// (index-hash driven — no ambient randomness, same answer on every run and

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <iterator>
 
 #include "src/common/assert.hpp"
 
@@ -30,48 +31,72 @@ const char* backend_name(GraphBackend backend) noexcept {
 
 NeighborGraph::NeighborGraph(std::span<const ConstBitRow> z,
                              std::size_t threshold, GraphBackend backend,
-                             const ExecPolicy& policy) {
-  build(z, threshold, backend, policy);
+                             const ExecPolicy& policy, const BitVector* alive) {
+  build(z, threshold, backend, policy, alive);
 }
 
 NeighborGraph::NeighborGraph(const BitMatrix& z, std::size_t threshold,
                              GraphBackend backend, const ExecPolicy& policy) {
-  build(z.row_views(), threshold, backend, policy);
+  build(z.row_views(), threshold, backend, policy, nullptr);
 }
 
 NeighborGraph::NeighborGraph(std::span<const BitVector> z, std::size_t threshold,
                              GraphBackend backend, const ExecPolicy& policy) {
   std::vector<ConstBitRow> views(z.begin(), z.end());
-  build(views, threshold, backend, policy);
+  build(views, threshold, backend, policy, nullptr);
 }
 
 ConstBitRow NeighborGraph::row(PlayerId p) const {
   CS_ASSERT(backend_ == GraphBackend::kDense,
-            "NeighborGraph::row: dense backend only");
+            "NeighborGraph::row needs the dense backend, but this graph "
+            "resolved to the csr backend; walk neighbors()/has_edge() or "
+            "branch on backend() like cluster_players does");
   return adj_.row(p);
 }
 
 std::span<const std::uint32_t> NeighborGraph::neighbors(PlayerId p) const {
   CS_ASSERT(backend_ == GraphBackend::kCsr,
-            "NeighborGraph::neighbors: csr backend only");
+            "NeighborGraph::neighbors needs the csr backend, but this graph "
+            "resolved to the dense backend; walk row()/has_edge() or branch "
+            "on backend() like cluster_players does");
   return csr_.neighbors(p);
 }
 
 void NeighborGraph::build(std::span<const ConstBitRow> z, std::size_t threshold,
-                          GraphBackend backend, const ExecPolicy& policy) {
+                          GraphBackend backend, const ExecPolicy& policy,
+                          const BitVector* alive) {
   const std::size_t n = z.size();
+  CS_ASSERT(alive == nullptr || alive->size() == n,
+            "NeighborGraph: alive mask size mismatch");
   n_ = n;
+  threshold_ = threshold;
+  alive_ = alive != nullptr ? *alive : BitVector(n, true);
+  alive_count_ = alive_.popcount();
+  // kAuto resolves on the full row family (the density sample ignores the
+  // alive mask): the verdict stays stable across a streaming session no
+  // matter how the population churns.
   if (backend == GraphBackend::kAuto)
     backend = csr_preferred(z, threshold) ? GraphBackend::kCsr
                                           : GraphBackend::kDense;
   backend_ = backend;
+  rebuild_adjacency(z, policy);
+}
+
+void NeighborGraph::rebuild_adjacency(std::span<const ConstBitRow> z,
+                                      const ExecPolicy& policy) {
+  const std::size_t n = n_;
+  const std::size_t threshold = threshold_;
+  degrees_.assign(n, 0);
   if (backend_ == GraphBackend::kCsr) {
-    csr_ = build_csr_neighbors(z, threshold, policy);
+    csr_ = build_csr_neighbors(z, threshold, policy, &alive_);
+    for (std::size_t p = 0; p < n; ++p)
+      degrees_[p] = csr_.offsets[p + 1] - csr_.offsets[p];
     return;
   }
 
   adj_ = BitMatrix(n, n);
   if (n < 2) return;
+  const bool masked = alive_count_ != n;
   const std::size_t dim_words = bitkernel::word_count(z[0].size());
   const std::size_t tile = tile_rows(n, dim_words * sizeof(std::uint64_t));
   const std::size_t n_tiles = (n + tile - 1) / tile;
@@ -86,9 +111,11 @@ void NeighborGraph::build(std::span<const ConstBitRow> z, std::size_t threshold,
       const std::size_t q_tile_begin = tj * tile;
       const std::size_t q_tile_end = std::min(n, q_tile_begin + tile);
       for (std::size_t p = p_begin; p < p_end; ++p) {
+        if (masked && !alive_.get(p)) continue;
         BitRow out = adj_.row(p);
         const ConstBitRow zp = z[p];
         for (std::size_t q = std::max(q_tile_begin, p + 1); q < q_tile_end; ++q) {
+          if (masked && !alive_.get(q)) continue;
           if (!zp.hamming_exceeds(z[q], threshold)) out.set(q, true);
         }
       }
@@ -109,6 +136,228 @@ void NeighborGraph::build(std::span<const ConstBitRow> z, std::size_t threshold,
       }
     }
   }
+  for (std::size_t p = 0; p < n; ++p)
+    degrees_[p] = static_cast<std::uint32_t>(adj_.row(p).popcount());
+}
+
+void NeighborGraph::neighbor_list(PlayerId p,
+                                  std::vector<std::uint32_t>& out) const {
+  out.clear();
+  if (backend_ == GraphBackend::kCsr) {
+    const std::span<const std::uint32_t> nb = csr_.neighbors(p);
+    out.assign(nb.begin(), nb.end());
+    return;
+  }
+  const std::span<const std::uint64_t> words = adj_.row(p).words();
+  for (std::size_t w = 0; w < words.size(); ++w) {
+    std::uint64_t x = words[w];
+    while (x != 0) {
+      out.push_back(static_cast<std::uint32_t>(
+          w * bitkernel::kWordBits +
+          static_cast<std::size_t>(std::countr_zero(x))));
+      x &= x - 1;
+    }
+  }
+}
+
+GraphDelta NeighborGraph::apply_updates(std::span<const RowUpdate> updates,
+                                        std::span<const ConstBitRow> z,
+                                        const ExecPolicy& policy) {
+  CS_ASSERT(z.size() == n_, "apply_updates: z row count mismatch");
+  GraphDelta delta;
+  const std::size_t k = updates.size();
+  if (k == 0) return delta;
+
+  // Pass 0 (serial): validate the batch and apply the alive transitions.
+  // The batch is atomic: every distance below is evaluated against the
+  // post-epoch rows and post-epoch alive set.
+  if (scratch_.updated.size() != n_) scratch_.updated = BitVector(n_);
+  else scratch_.updated.fill(false);
+  scratch_.update_index.resize(n_);
+  for (std::size_t i = 0; i < k; ++i) {
+    const RowUpdate& u = updates[i];
+    CS_ASSERT(u.player < n_, "apply_updates: player id out of range");
+    CS_ASSERT(!scratch_.updated.get(u.player),
+              "apply_updates: player appears twice in one batch");
+    scratch_.updated.set(u.player, true);
+    scratch_.update_index[u.player] = static_cast<std::uint32_t>(i);
+    switch (u.kind) {
+      case UpdateKind::kFlip:
+        CS_ASSERT(alive_.get(u.player), "apply_updates: flip of a departed player");
+        break;
+      case UpdateKind::kArrive:
+        CS_ASSERT(!alive_.get(u.player),
+                  "apply_updates: arrival of a player already present");
+        alive_.set(u.player, true);
+        ++alive_count_;
+        break;
+      case UpdateKind::kDepart:
+        CS_ASSERT(alive_.get(u.player),
+                  "apply_updates: departure of a player not present");
+        alive_.set(u.player, false);
+        --alive_count_;
+        break;
+    }
+  }
+
+  // Rebuild fallback: past ~n/8 changed rows the per-row sweeps and list
+  // splicing cost more than the tiled full build they replace (the tiled
+  // sweep halves the pair work via symmetry and streams cache-resident
+  // tiles). The resolved backend is kept; only the adjacency is redone.
+  if (k * 8 >= n_) {
+    std::size_t old_edges = 0;
+    for (const std::uint32_t d : degrees_) old_edges += d;
+    old_edges /= 2;
+    rebuild_adjacency(z, policy);
+    std::size_t new_edges = 0;
+    for (const std::uint32_t d : degrees_) new_edges += d;
+    new_edges /= 2;
+    delta.rebuilt = true;
+    delta.edges_added = new_edges > old_edges ? new_edges - old_edges : 0;
+    delta.edges_removed = old_edges > new_edges ? old_edges - new_edges : 0;
+    return delta;
+  }
+
+  // Phase 1 (parallel, read-only): each updated row's post-epoch neighbor
+  // list, swept against the alive set with the dispatched early-exit kernel.
+  // Deterministic: list i depends only on (z, alive, threshold), never on
+  // the schedule; update-vs-update pairs agree by Hamming symmetry.
+  if (scratch_.new_lists.size() < k) scratch_.new_lists.resize(k);
+  if (scratch_.old_lists.size() < k) scratch_.old_lists.resize(k);
+  policy.par_for(0, k, [&](std::size_t i) {
+    std::vector<std::uint32_t>& nb = scratch_.new_lists[i];
+    nb.clear();
+    if (updates[i].kind == UpdateKind::kDepart) return;
+    const PlayerId p = updates[i].player;
+    const ConstBitRow zp = z[p];
+    const std::span<const std::uint64_t> aw = alive_.words();
+    for (std::size_t w = 0; w < aw.size(); ++w) {
+      std::uint64_t x = aw[w];
+      while (x != 0) {
+        const std::size_t q =
+            w * bitkernel::kWordBits + static_cast<std::size_t>(std::countr_zero(x));
+        x &= x - 1;
+        if (q == p) continue;
+        if (!zp.hamming_exceeds(z[q], threshold_))
+          nb.push_back(static_cast<std::uint32_t>(q));
+      }
+    }
+  });
+
+  // Phase 2 (serial): snapshot every updated row's *old* list before any
+  // structural change — the mirror writes below touch other updated rows,
+  // so reading lists lazily would see half-applied state.
+  for (std::size_t i = 0; i < k; ++i)
+    neighbor_list(updates[i].player, scratch_.old_lists[i]);
+
+  // Phase 3 (serial): per-update sorted diffs drive the degree cache, the
+  // edge-churn counters, and (per backend) the structural splice. A pair
+  // with both endpoints updated shows up in both diffs; it is counted once
+  // (from the lower id) and applied idempotently.
+  scratch_.csr_adds.clear();
+  scratch_.csr_dels.clear();
+  const bool dense = backend_ == GraphBackend::kDense;
+  for (std::size_t i = 0; i < k; ++i) {
+    const PlayerId p = updates[i].player;
+    const std::vector<std::uint32_t>& olds = scratch_.old_lists[i];
+    const std::vector<std::uint32_t>& news = scratch_.new_lists[i];
+    scratch_.added.clear();
+    scratch_.removed.clear();
+    std::set_difference(news.begin(), news.end(), olds.begin(), olds.end(),
+                        std::back_inserter(scratch_.added));
+    std::set_difference(olds.begin(), olds.end(), news.begin(), news.end(),
+                        std::back_inserter(scratch_.removed));
+    for (const std::uint32_t q : scratch_.removed) {
+      if (dense) {
+        adj_.set(p, q, false);
+        adj_.set(q, p, false);
+      }
+      if (!scratch_.updated.get(q)) {
+        --degrees_[q];
+        ++delta.edges_removed;
+        if (!dense) scratch_.csr_dels.emplace_back(q, static_cast<std::uint32_t>(p));
+      } else if (q > p) {
+        ++delta.edges_removed;
+      }
+    }
+    for (const std::uint32_t q : scratch_.added) {
+      if (dense) {
+        adj_.set(p, q, true);
+        adj_.set(q, p, true);
+      }
+      if (!scratch_.updated.get(q)) {
+        ++degrees_[q];
+        ++delta.edges_added;
+        if (!dense) scratch_.csr_adds.emplace_back(q, static_cast<std::uint32_t>(p));
+      } else if (q > p) {
+        ++delta.edges_added;
+      }
+    }
+    degrees_[p] = static_cast<std::uint32_t>(news.size());
+  }
+
+  if (dense) return delta;
+
+  // Phase 4 (CSR): delta-aware counts -> offsets -> flat rebuild. Updated
+  // rows take their fresh lists verbatim; rows with spillover deltas merge
+  // their old list against the sorted add/del streams; untouched rows copy
+  // their old range unchanged. O(n + total edges) with no re-sorting — the
+  // inputs are already ascending.
+  std::sort(scratch_.csr_adds.begin(), scratch_.csr_adds.end());
+  std::sort(scratch_.csr_dels.begin(), scratch_.csr_dels.end());
+  std::vector<std::uint32_t>& offsets = scratch_.csr_offsets;
+  std::vector<std::uint32_t>& adj = scratch_.csr_adj;
+  offsets.assign(n_ + 1, 0);
+  for (std::size_t p = 0; p < n_; ++p)
+    offsets[p + 1] = offsets[p] + degrees_[p];
+  CS_ASSERT(static_cast<std::size_t>(offsets[n_]) <=
+                static_cast<std::size_t>(UINT32_MAX),
+            "csr: adjacency exceeds uint32 index space");
+  adj.resize(offsets[n_]);
+  std::size_t ai = 0;  // cursor into csr_adds
+  std::size_t di = 0;  // cursor into csr_dels
+  for (std::size_t p = 0; p < n_; ++p) {
+    std::uint32_t* out = adj.data() + offsets[p];
+    if (scratch_.updated.get(p)) {
+      const std::vector<std::uint32_t>& news =
+          scratch_.new_lists[scratch_.update_index[p]];
+      std::copy(news.begin(), news.end(), out);
+      // Spillover streams never name updated rows; no cursor advance here.
+      continue;
+    }
+    const std::span<const std::uint32_t> olds = csr_.neighbors(p);
+    const bool has_adds = ai < scratch_.csr_adds.size() &&
+                          scratch_.csr_adds[ai].first == p;
+    const bool has_dels = di < scratch_.csr_dels.size() &&
+                          scratch_.csr_dels[di].first == p;
+    if (!has_adds && !has_dels) {
+      std::copy(olds.begin(), olds.end(), out);
+      continue;
+    }
+    std::size_t oi = 0;
+    while (oi < olds.size() ||
+           (ai < scratch_.csr_adds.size() && scratch_.csr_adds[ai].first == p)) {
+      const bool take_add =
+          ai < scratch_.csr_adds.size() && scratch_.csr_adds[ai].first == p &&
+          (oi == olds.size() || scratch_.csr_adds[ai].second < olds[oi]);
+      if (take_add) {
+        *out++ = scratch_.csr_adds[ai++].second;
+        continue;
+      }
+      const std::uint32_t q = olds[oi++];
+      if (di < scratch_.csr_dels.size() && scratch_.csr_dels[di].first == p &&
+          scratch_.csr_dels[di].second == q) {
+        ++di;
+        continue;
+      }
+      *out++ = q;
+    }
+    CS_ASSERT(out == adj.data() + offsets[p + 1],
+              "csr splice: merged row length disagrees with its degree");
+  }
+  csr_.offsets.swap(offsets);
+  csr_.adj.swap(adj);
+  return delta;
 }
 
 std::size_t Clustering::min_cluster_size() const {

@@ -11,6 +11,7 @@
 #include "src/common/timer.hpp"
 #include "src/core/calculate_preferences.hpp"
 #include "src/protocols/env.hpp"
+#include "src/sim/churn.hpp"
 
 namespace colscore {
 
@@ -186,29 +187,57 @@ std::size_t derived_clusters(const Scenario& sc) {
   return sc.n_clusters != 0 ? sc.n_clusters : std::max<std::size_t>(1, sc.budget);
 }
 
+/// The `churn` workload's streaming knobs, resolved from the scenario's
+/// schema-validated extras (defaults live in the extra_* fallbacks so a bare
+/// "workload=churn" runs a sensible drift).
+ChurnConfig churn_config_for(const Scenario& sc) {
+  ChurnConfig cfg;
+  cfg.epochs = sc.extra_size("epochs", 16);
+  cfg.flip_rate = sc.extra_double("flip_rate", 0.01);
+  cfg.flip_bits = sc.extra_size("flip_bits", 2);
+  cfg.arrive = sc.extra_double("arrive", 0.25);
+  cfg.depart = sc.extra_double("depart", 0.0);
+  // Edge threshold for the streamed graph: twice the planted diameter (two
+  // members of one cluster sit <= diameter apart; drift can push them a bit
+  // past it before re-clustering should separate them). Override with
+  // stream_tau for threshold studies.
+  cfg.threshold = sc.extra_size("stream_tau",
+                                std::max<std::size_t>(1, 2 * sc.diameter));
+  cfg.min_cluster = std::max<std::size_t>(
+      2, sc.n / std::max<std::size_t>(1, derived_clusters(sc)) * 2 / 3);
+  const std::string backend = sc.extra_string("stream_backend", "auto");
+  if (backend == "dense") cfg.backend = GraphBackend::kDense;
+  else if (backend == "csr") cfg.backend = GraphBackend::kCsr;
+  else if (backend == "auto") cfg.backend = GraphBackend::kAuto;
+  else
+    throw ScenarioError("override 'stream_backend=" + backend +
+                        "': expected auto, dense or csr");
+  return cfg;
+}
+
 void register_builtin_workloads(WorkloadRegistry& reg) {
   reg.add("planted",
           {"planted clusters: random centers, members flip <= diameter/2 bits",
-           [](const Scenario& sc, Rng& rng) {
+           [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
              return planted_clusters(sc.n, sc.n, derived_clusters(sc), sc.diameter,
                                      rng, sc.zipf_sizes);
            },
            {}});
   reg.add("identical",
           {"identical preferences inside each cluster (ZeroRadius assumption)",
-           [](const Scenario& sc, Rng& rng) {
+           [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
              return identical_clusters(sc.n, sc.n, derived_clusters(sc), rng);
            },
            {}});
   reg.add("lower_bound",
           {"Claim 2 lower-bound instance: pivot + twin set, random on S",
-           [](const Scenario& sc, Rng& rng) {
+           [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
              return lower_bound_instance(sc.n, sc.budget, sc.diameter, rng);
            },
            {}});
   reg.add("chained",
           {"chain of groups, consecutive centers `diameter` bits apart",
-           [](const Scenario& sc, Rng& rng) {
+           [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
              const std::size_t links =
                  sc.n_clusters != 0 ? sc.n_clusters
                                     : std::max<std::size_t>(2, 2 * sc.budget);
@@ -217,12 +246,69 @@ void register_builtin_workloads(WorkloadRegistry& reg) {
            {}});
   reg.add("uniform",
           {"no structure: every preference an independent fair coin",
-           [](const Scenario& sc, Rng& rng) { return uniform_random(sc.n, sc.n, rng); },
+           [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
+             return uniform_random(sc.n, sc.n, rng);
+           },
            {}});
   reg.add("two_blocks",
           {"two taste camps disagreeing on every object",
-           [](const Scenario& sc, Rng& rng) { return two_blocks(sc.n, sc.n, rng); },
+           [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
+             return two_blocks(sc.n, sc.n, rng);
+           },
            {}});
+  reg.add(
+      "churn",
+      {"planted clusters drifted by epoch churn (streaming maintenance): "
+       "epochs (default 16) epochs of per-player fates — depart w.p. "
+       "`depart` (default 0), else drift w.p. `flip_rate` (default 0.01, "
+       "flipping `flip_bits`=2 positions), departed players return w.p. "
+       "`arrive` (default 0.25); stream_tau (default 2*diameter) and "
+       "stream_backend (auto|dense|csr) shape the streamed neighbor graph",
+       [](const Scenario& sc, Rng& rng, const ExecPolicy& policy) {
+         World w = planted_clusters(sc.n, sc.n, derived_clusters(sc),
+                                    sc.diameter, rng, sc.zipf_sizes);
+         w.churn = run_churn(w.matrix, churn_config_for(sc), rng, policy);
+         w.description += " + churn drift";
+         return w;
+       },
+       {},
+       {{"epochs", ParamType::kSize, "churn epochs to simulate"},
+        {"flip_rate", ParamType::kDouble,
+         "per-epoch drift probability per alive player"},
+        {"flip_bits", ParamType::kSize, "positions flipped per drifting row"},
+        {"arrive", ParamType::kDouble,
+         "per-epoch return probability per departed player"},
+        {"depart", ParamType::kDouble,
+         "per-epoch departure probability per alive player"},
+        {"stream_tau", ParamType::kSize,
+         "edge threshold of the streamed graph (0 keeps 2*diameter)"},
+        {"stream_backend", ParamType::kString,
+         "streamed graph backend: auto, dense or csr"}},
+       {{"epochs", MetricType::kU64, "churn epochs simulated"},
+        {"edges_changed", MetricType::kU64,
+         "graph edges added+removed across all epochs"},
+        {"rebuild_fraction", MetricType::kF64,
+         "fraction of epochs that fell back to a full graph rebuild"},
+        {"stream_arrivals", MetricType::kU64,
+         "players re-admitted over the run"},
+        {"stream_departures", MetricType::kU64,
+         "players retired over the run"},
+        {"recluster_fraction", MetricType::kF64,
+         "fraction of epochs whose edge delta forced a re-peel"}},
+       [](const MetricContext& ctx, MetricEmitter& emit) {
+         const ChurnStats& churn = ctx.world.churn;
+         emit.u64("epochs", churn.epochs);
+         emit.u64("edges_changed", churn.edges_changed);
+         emit.u64("stream_arrivals", churn.arrivals);
+         emit.u64("stream_departures", churn.departures);
+         const double epochs = churn.epochs == 0
+                                   ? 1.0
+                                   : static_cast<double>(churn.epochs);
+         emit.f64("rebuild_fraction",
+                  static_cast<double>(churn.rebuilds) / epochs);
+         emit.f64("recluster_fraction",
+                  static_cast<double>(churn.reclusters) / epochs);
+       }});
 }
 
 void register_builtin_adversaries(AdversaryRegistry& reg) {
@@ -597,9 +683,15 @@ AlgorithmRegistry& AlgorithmRegistry::instance() {
 
 // ---- execution --------------------------------------------------------------
 
-World build_scenario_world(const Scenario& scenario) {
+World build_scenario_world(const Scenario& scenario,
+                           const ExecPolicy& policy) {
   Rng rng(mix_keys(scenario.seed, 0x0a71dULL));
-  return WorkloadRegistry::instance().at(scenario.workload).make(scenario, rng);
+  return WorkloadRegistry::instance().at(scenario.workload).make(scenario, rng,
+                                                                 policy);
+}
+
+World build_scenario_world(const Scenario& scenario) {
+  return build_scenario_world(scenario, ExecPolicy::process_default());
 }
 
 Population build_scenario_population(const Scenario& scenario, const World& world) {
@@ -630,7 +722,7 @@ ExperimentOutcome run_scenario(const Scenario& scenario,
   // scopes) share or acquire slots from the same arena, so two scenarios on
   // disjoint policies can never alias scratch.
   WorkerScope worker(policy);
-  const World world = build_scenario_world(scenario);
+  const World world = build_scenario_world(scenario, policy);
   const Population pop = build_scenario_population(scenario, world);
   ProbeOracle oracle(world.matrix);
   // With a single-worker policy every protocol loop runs inline, so counter

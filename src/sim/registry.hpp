@@ -8,7 +8,9 @@
 //
 //   WorkloadRegistry::instance().add("ring", {
 //       "ring of overlapping taste groups",
-//       [](const Scenario& sc, Rng& rng) { return make_ring(sc.n, rng); }});
+//       [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
+//         return make_ring(sc.n, rng);
+//       }});
 //
 // A `ScenarioSpec` is the declarative form ("workload=planted n=512
 // dishonest=20"): three names plus key=value overrides, round-trippable
@@ -174,8 +176,11 @@ using MetricEmitFn = std::function<void(const MetricContext&, MetricEmitter&)>;
 
 struct WorkloadEntry {
   std::string description;
-  /// Builds the hidden world. `rng` is pre-seeded from the scenario seed.
-  std::function<World(const Scenario&, Rng&)> make;
+  /// Builds the hidden world. `rng` is pre-seeded from the scenario seed;
+  /// `policy` is the run's execution policy — generators whose construction
+  /// itself runs parallel maintenance loops (the churn family's epoch
+  /// streaming) spell them policy.par_for, everything else ignores it.
+  std::function<World(const Scenario&, Rng&, const ExecPolicy&)> make;
   /// Default spec overrides applied before the user's (user wins).
   std::vector<std::pair<std::string, std::string>> defaults = {};
   /// Entry-specific override keys (typed; validated at resolve time).
@@ -466,7 +471,10 @@ struct ExperimentOutcome {
   std::vector<std::pair<std::string, MetricValue>> entry_metrics;
 };
 
-/// Builds the world for `scenario` (deterministic in scenario.seed).
+/// Builds the world for `scenario` (deterministic in scenario.seed — also
+/// across policies: workload factories are schedule-independent). The
+/// one-argument form runs under the process-default policy.
+World build_scenario_world(const Scenario& scenario, const ExecPolicy& policy);
 World build_scenario_world(const Scenario& scenario);
 
 /// Installs the scenario's adversaries into a fresh population.

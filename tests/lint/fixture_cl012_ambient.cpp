@@ -20,4 +20,16 @@ void fixture_ambient_execution(const ExecPolicy& policy, std::size_t n) {
   (void)fallback;
 }
 
+// The PR 10 shape: a streaming epoch loop whose per-epoch fan-out grabs the
+// ambient pool. Each epoch's delta sweep must run on the session's policy —
+// an ambient spelling here couples every concurrent streaming session
+// through one process pool, once per epoch.
+void fixture_ambient_epoch_loop(const ExecPolicy& policy, std::size_t n,
+                                std::size_t epochs) {
+  for (std::size_t e = 0; e < epochs; ++e) {
+    parallel_for(0, n, [](std::size_t) {});          // VIOLATION
+    policy.par_for(0, n, [](std::size_t) {});        // sanctioned: fine
+  }
+}
+
 }  // namespace colscore

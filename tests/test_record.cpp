@@ -513,7 +513,7 @@ TEST(EntryMetrics, TwoEntriesEmittingTheSameKeyFailLoudly) {
   };
   WorkloadRegistry::instance().add(
       "record_dup_wl", {"uniform twin emitting dup_m (test entry)",
-                        [](const Scenario& sc, Rng& rng) {
+                        [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
                           return uniform_random(sc.n, sc.n, rng);
                         },
                         {}, {}, dup, emit_dup});

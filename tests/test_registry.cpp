@@ -178,13 +178,13 @@ TEST(Scenario, CompatShimMatchesRegistryPath) {
 TEST(Registry, DuplicateRegistrationProducesTheDocumentedError) {
   WorkloadRegistry::instance().add(
       "dup_probe", {"duplicate-registration probe (test-only)",
-                    [](const Scenario& sc, Rng& rng) {
+                    [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
                       return uniform_random(sc.n, sc.n, rng);
                     }});
   try {
     WorkloadRegistry::instance().add(
         "dup_probe", {"second registration",
-                      [](const Scenario& sc, Rng& rng) {
+                      [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
                         return uniform_random(sc.n, sc.n, rng);
                       }});
     FAIL() << "expected ScenarioError";
@@ -198,7 +198,7 @@ TEST(Registry, DuplicateRegistrationProducesTheDocumentedError) {
   // replace() is the intentional spelling and must succeed.
   WorkloadRegistry::instance().replace(
       "dup_probe", {"replaced on purpose",
-                    [](const Scenario& sc, Rng& rng) {
+                    [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
                       return uniform_random(sc.n, sc.n, rng);
                     }});
   EXPECT_EQ(WorkloadRegistry::instance().at("dup_probe").description,
@@ -209,7 +209,7 @@ TEST(Registry, SchemaKeysMayNotShadowBuiltinOverrides) {
   try {
     WorkloadRegistry::instance().add(
         "shadow_probe", {"schema-shadow probe (test-only)",
-                         [](const Scenario& sc, Rng& rng) {
+                         [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
                            return uniform_random(sc.n, sc.n, rng);
                          },
                          {},
@@ -227,7 +227,7 @@ TEST(Registry, DefaultsMustBeBuiltinOrSchemaKeys) {
   try {
     WorkloadRegistry::instance().add(
         "default_probe", {"bad-default probe (test-only)",
-                          [](const Scenario& sc, Rng& rng) {
+                          [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
                             return uniform_random(sc.n, sc.n, rng);
                           },
                           {{"mystery_knob", "3"}}});
@@ -241,7 +241,7 @@ TEST(Registry, DefaultsMustBeBuiltinOrSchemaKeys) {
   try {
     WorkloadRegistry::instance().add(
         "default_probe", {"bad-typed-default probe (test-only)",
-                          [](const Scenario& sc, Rng& rng) {
+                          [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
                             return uniform_random(sc.n, sc.n, rng);
                           },
                           {{"knob", "lots"}},
@@ -260,7 +260,7 @@ TEST(Registry, SchemaTypedOverridesValidateAndReachTheFactory) {
   WorkloadRegistry::instance().add(
       "schema_probe",
       {"schema-declared knobs probe (test-only)",
-       [](const Scenario& sc, Rng& rng) {
+       [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
          // The typed knob is observable through the planted diameter.
          return planted_clusters(sc.n, sc.n, 2,
                                  2 * sc.extra_size("blocks", 1), rng);

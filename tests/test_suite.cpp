@@ -235,7 +235,7 @@ TEST(SuiteRunner, RegisteredEntriesAreGridSweepable) {
   // builtin, and read both back from the streamed CSV.
   WorkloadRegistry::instance().add(
       "suite_twin_blocks", {"two_blocks twin for suite tests",
-                            [](const Scenario& sc, Rng& rng) {
+                            [](const Scenario& sc, Rng& rng, const ExecPolicy&) {
                               return two_blocks(sc.n, sc.n, rng);
                             }});
   std::ostringstream out;
